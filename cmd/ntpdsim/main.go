@@ -1,0 +1,108 @@
+// Command ntpdsim runs a simulated (vulnerable) NTP daemon on a real UDP
+// socket — the lab target for cmd/ntpscan and for reproducing the
+// amplification mechanics end to end on localhost.
+//
+//	ntpdsim -listen 127.0.0.1:11123 -prime 600
+//
+// then, in another terminal:
+//
+//	ntpscan -target 127.0.0.1:11123 -mode monlist
+//
+// The daemon answers mode 3 time requests, mode 7 monlist queries (when
+// -monlist is on) and mode 6 readvar queries (when -version is on), with
+// the same monitor-table semantics the simulation uses: 600-entry MRU cap,
+// per-client counts, modes, and inter-arrival times.
+//
+// SECURITY: this is deliberately vulnerable software for lab use. Bind it
+// to loopback (the default) unless you fully control the network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/ntpd"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:11123", "UDP address to serve")
+		monlist = flag.Bool("monlist", true, "answer mode 7 monlist queries (the vulnerability)")
+		version = flag.Bool("version", true, "answer mode 6 readvar queries")
+		stratum = flag.Int("stratum", 2, "reported stratum (16 = unsynchronized)")
+		system  = flag.String("system", "linux", "reported system string")
+		prime   = flag.Int("prime", 0, "pre-fill the monitor table with N synthetic clients")
+		quiet   = flag.Bool("quiet", false, "suppress per-query logging")
+	)
+	flag.Parse()
+
+	srv := ntpd.New(ntpd.Config{
+		Addr:           0, // real transport; fabric address unused
+		Stratum:        *stratum,
+		MonlistEnabled: *monlist,
+		Mode6Enabled:   *version,
+		ExtraVarBytes:  300,
+		Profile: ntpd.Profile{
+			SystemString:  *system,
+			VersionString: "ntpd 4.2.4p8@1.1612-o Mon Dec 21 11:23:01 UTC 2009 (1)",
+			Processor:     "x86_64",
+			TTL:           64,
+		},
+	})
+	for i := 0; i < *prime; i++ {
+		srv.Record(netaddr.Addr(0x0a000000+uint32(i)), ntp.Port, ntp.ModeClient, 4, 1+int64(i%40), time.Now())
+	}
+
+	addr, err := net.ResolveUDPAddr("udp4", *listen)
+	if err != nil {
+		log.Fatalf("ntpdsim: %v", err)
+	}
+	conn, err := net.ListenUDP("udp4", addr)
+	if err != nil {
+		log.Fatalf("ntpdsim: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(os.Stderr, "ntpdsim: serving NTP on %s (monlist=%v version=%v stratum=%d, %d primed clients)\n",
+		conn.LocalAddr(), *monlist, *version, *stratum, srv.MRULen())
+
+	buf := make([]byte, 2048)
+	for {
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			log.Fatalf("ntpdsim: read: %v", err)
+		}
+		src, ok := udpToAddr(peer)
+		if !ok {
+			continue
+		}
+		payload := make([]byte, n)
+		copy(payload, buf[:n])
+		responses := srv.Respond(payload, src, uint16(peer.Port), time.Now())
+		var sent int
+		for _, r := range responses {
+			if _, err := conn.WriteToUDP(r, peer); err == nil {
+				sent += len(r)
+			}
+		}
+		if !*quiet {
+			mode, _ := ntp.Mode(payload)
+			fmt.Fprintf(os.Stderr, "ntpdsim: %s mode %d: %dB in, %d packets / %dB out (table %d entries)\n",
+				peer, mode, n, len(responses), sent, srv.MRULen())
+		}
+	}
+}
+
+// udpToAddr converts a real IPv4 UDP peer to the library's address type.
+func udpToAddr(u *net.UDPAddr) (netaddr.Addr, bool) {
+	v4 := u.IP.To4()
+	if v4 == nil {
+		return 0, false
+	}
+	return netaddr.Addr(uint32(v4[0])<<24 | uint32(v4[1])<<16 | uint32(v4[2])<<8 | uint32(v4[3])), true
+}

@@ -1,0 +1,80 @@
+// Command ntpsim runs the full NTP-DDoS measurement reproduction and prints
+// the paper's tables and figures.
+//
+// Usage:
+//
+//	ntpsim                     # run at -scale and print every experiment
+//	ntpsim -experiment fig3    # print one experiment
+//	ntpsim -list               # list experiment ids
+//	ntpsim -csv -experiment table4 > ports.csv
+//	ntpsim -scale 2000         # faster, coarser world
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntpddos"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 400, "population divisor (smaller = bigger, slower world)")
+		seed       = flag.Uint64("seed", 1, "world seed")
+		experiment = flag.String("experiment", "", "print only this experiment id")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quick      = flag.Bool("quick", false, "use the quick test-scale configuration")
+		pcapDir    = flag.String("pcap", "", "directory to persist weekly monlist samples as .pcap files")
+	)
+	flag.Parse()
+
+	cfg := ntpddos.DefaultConfig()
+	if *quick {
+		cfg = ntpddos.QuickConfig()
+	}
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.PCAPDir = *pcapDir
+
+	if *list {
+		// A throwaway quick run would be wasteful just to list ids; the ids
+		// are fixed, so enumerate them statically.
+		for _, id := range []string{
+			"fig1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "table1a",
+			"table1v", "table2", "table3", "fig5", "table4", "fig6", "fig7",
+			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+			"fig15", "fig16", "table5", "table6", "churn", "volume",
+			"remediation", "dnsoverlap", "ttl", "mega",
+		} {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "ntpsim: running 2013-09 through 2014-05 at scale 1/%d (seed %d)...\n",
+		cfg.Scale, cfg.Seed)
+	sim := ntpddos.Run(cfg)
+	fmt.Fprintf(os.Stderr, "ntpsim: done.\n\n")
+
+	render := func(t *ntpddos.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+	if *experiment != "" {
+		t := sim.ByID(*experiment)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "ntpsim: unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(1)
+		}
+		render(t)
+		return
+	}
+	for _, t := range sim.All() {
+		render(t)
+	}
+}

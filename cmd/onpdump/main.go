@@ -1,0 +1,102 @@
+// Command onpdump runs the paper's §3/§4 analysis over a pcap file of
+// monlist scan responses — either one produced by this repository's tools
+// (ntpsim -pcap, scan.WritePCAP) or a genuine OpenNTPProject-style capture.
+//
+//	onpdump -probe 198.51.100.5 capture.pcap
+//
+// It reports the amplifier population, BAF distribution, mega amplifiers,
+// victim census with attacked ports, and example monitor tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ntpddos/internal/attack"
+	"ntpddos/internal/core"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/stats"
+)
+
+func main() {
+	var (
+		probe = flag.String("probe", "", "the scanner's source IP (classified out of the victim set)")
+		date  = flag.String("date", "2014-01-10", "capture date (attack timing is derived relative to it)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: onpdump [-probe IP] [-date YYYY-MM-DD] capture.pcap")
+		os.Exit(2)
+	}
+	var probeAddr netaddr.Addr
+	if *probe != "" {
+		var err error
+		probeAddr, err = netaddr.ParseAddr(*probe)
+		if err != nil {
+			log.Fatalf("onpdump: %v", err)
+		}
+	}
+	when, err := time.Parse("2006-01-02", *date)
+	if err != nil {
+		log.Fatalf("onpdump: %v", err)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("onpdump: %v", err)
+	}
+	defer f.Close()
+
+	analysis, err := core.AnalyzeSamplePCAP(f, "monlist", when, probeAddr)
+	if err != nil {
+		log.Fatalf("onpdump: %v", err)
+	}
+
+	fmt.Printf("amplifiers responding: %d\n", len(analysis.Amps))
+	var bafs []float64
+	megas := 0
+	for _, r := range analysis.Amps {
+		bafs = append(bafs, r.BAF)
+		if r.Mega {
+			megas++
+		}
+	}
+	box := stats.NewBoxPlot(bafs)
+	fmt.Printf("on-wire BAF: min %.1f / q1 %.1f / median %.1f / q3 %.1f / max %.1f\n",
+		box.Min, box.Q1, box.Median, box.Q3, box.Max)
+	fmt.Printf("mega amplifiers (>100KB or repeated tables): %d\n", megas)
+	if analysis.WindowMedian > 0 {
+		fmt.Printf("observation window (median largest last-seen): %v (under-sampling ~%.1fx/week)\n",
+			analysis.WindowMedian.Round(time.Minute), core.UnderSampleFactor(analysis.WindowMedian))
+	}
+
+	victims := analysis.VictimSet()
+	fmt.Printf("\nvictims: %d distinct IPs across %d amplifier/victim pairs\n",
+		victims.Len(), len(analysis.Victims))
+	ports := stats.NewHistogram()
+	var counts []float64
+	perVictim := map[netaddr.Addr]float64{}
+	for _, v := range analysis.Victims {
+		ports.Add(int(v.Port), 1)
+		perVictim[v.Victim] += float64(v.Count)
+	}
+	for _, c := range perVictim {
+		counts = append(counts, c)
+	}
+	if len(counts) > 0 {
+		fmt.Printf("packets per victim: median %.0f / mean %.0f / p95 %.0f\n",
+			stats.Quantile(counts, 0.5), stats.Mean(counts), stats.Quantile(counts, 0.95))
+	}
+	if top := ports.TopK(10); len(top) > 0 {
+		fmt.Println("\ntop attacked ports:")
+		for i, bin := range top {
+			game := ""
+			if attack.IsGamePort(uint16(bin.Value)) {
+				game = " (game)"
+			}
+			fmt.Printf("  %2d. port %-6d %5.1f%%%s\n", i+1, bin.Value, bin.Fraction*100, game)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package ntpddos
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ntpddos/internal/core"
+	"ntpddos/internal/routing"
+)
+
+// coreTopVictimASes returns the top-5 victim AS numbers of a simulation.
+func coreTopVictimASes(s *Simulation) []routing.ASN {
+	res := s.Results()
+	top := core.TopVictimASes(res.MonlistAnalyses, res.Registries, 5)
+	out := make([]routing.ASN, len(top))
+	for i, r := range top {
+		out[i] = r.ASN
+	}
+	return out
+}
+
+// These tests assert the paper-shape properties of each experiment on the
+// shared quick simulation. They are looser than the calibration targets
+// (test scale is 1/2000) but each captures the qualitative claim the paper
+// makes.
+
+func cell(t *testing.T, tab *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d)", tab.ID, row, col)
+	}
+	return tab.Rows[row][col]
+}
+
+func cellFloat(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := cell(t, tab, row, col)
+	s = strings.TrimSuffix(s, "%")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i] // strip "(~...)" re-inflation suffixes
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tab.ID, row, col, cell(t, tab, row, col))
+	}
+	return v
+}
+
+func TestFigure1RiseAndDecline(t *testing.T) {
+	tab := sim(t).Figure1()
+	// November baseline ~1e-5; the February peak orders of magnitude up.
+	var nov, feb float64
+	for _, r := range tab.Rows {
+		if strings.HasPrefix(r[0], "2013-11") && nov == 0 {
+			nov, _ = strconv.ParseFloat(r[1], 64)
+		}
+		if strings.HasPrefix(r[0], "2014-02") {
+			if v, _ := strconv.ParseFloat(r[1], 64); v > feb {
+				feb = v
+			}
+		}
+	}
+	if nov > 1e-4 {
+		t.Fatalf("November NTP fraction = %v, want ~1e-5", nov)
+	}
+	if feb < 100*nov {
+		t.Fatalf("February peak %v not orders of magnitude above November %v", feb, nov)
+	}
+}
+
+func TestFigure3MonotonicCollapse(t *testing.T) {
+	tab := sim(t).Figure3()
+	first := cellFloat(t, tab, 0, 1)
+	last := cellFloat(t, tab, len(tab.Rows)-1, 1)
+	if last > first*0.15 {
+		t.Fatalf("amplifier IPs %v -> %v: not a >85%% collapse", first, last)
+	}
+	// Merit column: 50 at the start, a handful of holdouts at the end.
+	if got := cellFloat(t, tab, 0, 5); got != 50 {
+		t.Fatalf("Merit initial = %v, want 50", got)
+	}
+	if got := cellFloat(t, tab, len(tab.Rows)-1, 5); got > 10 {
+		t.Fatalf("Merit final = %v, want a few holdouts", got)
+	}
+}
+
+func TestFigure4bMedianNearPaper(t *testing.T) {
+	tab := sim(t).Figure4b()
+	med := cellFloat(t, tab, 0, 3)
+	if med < 2 || med > 12 {
+		t.Fatalf("first-sample monlist BAF median = %v, paper 4.3", med)
+	}
+	// The maximum must be enormous (mega amplifiers) early on.
+	if max := cellFloat(t, tab, 0, 5); max < 1e6 {
+		t.Fatalf("first-sample max BAF = %v, want mega-scale", max)
+	}
+}
+
+func TestFigure4cQuartiles(t *testing.T) {
+	tab := sim(t).Figure4c()
+	q1 := cellFloat(t, tab, 0, 2)
+	med := cellFloat(t, tab, 0, 3)
+	q3 := cellFloat(t, tab, 0, 4)
+	if q1 < 2 || med < 3 || med > 8 || q3 > 15 {
+		t.Fatalf("version BAF quartiles %v/%v/%v, paper 3.5/4.6/6.9", q1, med, q3)
+	}
+}
+
+func TestTable1EndHostShareGrows(t *testing.T) {
+	tab := sim(t).Table1Amplifiers()
+	first := cellFloat(t, tab, 0, 5)
+	last := cellFloat(t, tab, len(tab.Rows)-1, 5)
+	if first < 8 || first > 34 {
+		t.Fatalf("initial end-host share %v%%, paper 18.5%%", first)
+	}
+	// The paper's 18.5%->33.5% growth reproduces at benchmark scale; tiny
+	// worlds may start high and plateau, so require growth only from a low
+	// start, and never a collapse.
+	if first < 25 && last <= first {
+		t.Fatalf("end-host share did not grow: %v%% -> %v%% (paper 18.5 -> 33.5)", first, last)
+	}
+	if last < first*0.8 {
+		t.Fatalf("end-host share collapsed: %v%% -> %v%%", first, last)
+	}
+	// IPs per routed block collapses from ~22 toward ~4.
+	ipb0 := cellFloat(t, tab, 0, 6)
+	ipbN := cellFloat(t, tab, len(tab.Rows)-1, 6)
+	if ipb0 < 10 || ipbN > ipb0/2 {
+		t.Fatalf("IPs/block %v -> %v, paper 22 -> 4", ipb0, ipbN)
+	}
+}
+
+func TestTable2CiscoDominatesAllNTP(t *testing.T) {
+	tab := sim(t).Table2()
+	shares := map[string]float64{}
+	for _, r := range tab.Rows {
+		v, _ := strconv.ParseFloat(r[3], 64)
+		shares[r[0]] = v
+	}
+	if shares["cisco"] < shares["linux"] {
+		t.Fatalf("all-NTP cisco %v%% < linux %v%%, paper has cisco 48%% on top", shares["cisco"], shares["linux"])
+	}
+	// Amplifier column must be linux-dominated.
+	for _, r := range tab.Rows {
+		if r[0] == "linux" {
+			v, _ := strconv.ParseFloat(r[2], 64)
+			if v < 60 {
+				t.Fatalf("amplifier linux share %v%%, paper 80%%", v)
+			}
+		}
+	}
+}
+
+func TestFigure5OVHProminent(t *testing.T) {
+	s := sim(t)
+	// At test scale a single heavy-tailed campaign can outdraw OVH's
+	// aggregate, so assert top-5 membership rather than strict rank 1
+	// (rank 1 holds at benchmark scale; see EXPERIMENTS.md).
+	res := s.Results()
+	top := coreTopVictimASes(s)
+	for i, r := range top {
+		if r == 16276 {
+			if i > 4 {
+				t.Fatalf("OVH at rank %d", i+1)
+			}
+			return
+		}
+	}
+	_ = res
+	t.Fatalf("OVH absent from the top victim ASes: %v", top)
+}
+
+func TestFigure7PeakNearFeb12(t *testing.T) {
+	tab := sim(t).Figure7()
+	// The single peak *hour* is noisy at test scale; the peak *week* is
+	// the robust signal and must contain February 11th.
+	bestWeek, best := "", 0.0
+	for _, r := range tab.Rows {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		if v > best {
+			best, bestWeek = v, r[0]
+		}
+	}
+	if !strings.HasPrefix(bestWeek, "2014-02-0") && !strings.HasPrefix(bestWeek, "2014-02-1") {
+		t.Fatalf("peak attack week = %s, want the week of Feb 11 (notes: %v)", bestWeek, tab.Notes)
+	}
+}
+
+func TestFigure8TenfoldRise(t *testing.T) {
+	tab := sim(t).Figure8()
+	var before, peak float64
+	for _, r := range tab.Rows {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		if strings.HasPrefix(r[0], "2013-1") && r[0] <= "2013-11" {
+			if v > before {
+				before = v
+			}
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	if before == 0 || peak < 5*before {
+		t.Fatalf("darknet rise %v -> %v, paper ~10x", before, peak)
+	}
+}
+
+func TestFigure10Ordering(t *testing.T) {
+	tab := sim(t).Figure10()
+	last := tab.Rows[len(tab.Rows)-1]
+	mon, _ := strconv.ParseFloat(last[1], 64)
+	dns, _ := strconv.ParseFloat(last[3], 64)
+	if mon > 20 {
+		t.Fatalf("monlist pool still at %v%% of peak, paper ~8%%", mon)
+	}
+	if dns < 90 {
+		t.Fatalf("DNS pool at %v%% of peak, paper nearly flat", dns)
+	}
+}
+
+func TestTable5MeritAmplifierShape(t *testing.T) {
+	tab := sim(t).Table5()
+	if len(tab.Rows) == 0 {
+		t.Fatal("no site amplifiers")
+	}
+	top := tab.Rows[0]
+	if top[0] != "Merit" {
+		t.Fatalf("top amplifier site = %s", top[0])
+	}
+	baf, _ := strconv.ParseFloat(top[2], 64)
+	victims, _ := strconv.ParseFloat(top[3], 64)
+	if baf < 200 || baf > 6000 {
+		t.Fatalf("top Merit BAF = %v, paper 948-1297", baf)
+	}
+	if victims < 300 {
+		t.Fatalf("top Merit amplifier victims = %v, paper 1966-3072", victims)
+	}
+}
+
+func TestTable6VictimGeography(t *testing.T) {
+	tab := sim(t).Table6()
+	countries := map[string]bool{}
+	for _, r := range tab.Rows {
+		countries[r[3]] = true
+	}
+	// Table 6's victims span several countries; at minimum the named
+	// networks (JP/CN/US/DE/FR/RO/BR/GB) should contribute a few.
+	if len(countries) < 3 {
+		t.Fatalf("victims in only %d countries: %v", len(countries), countries)
+	}
+}
+
+func TestTTLModes(t *testing.T) {
+	tab := sim(t).TTLReport()
+	for _, r := range tab.Rows {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		switch r[0] {
+		case "scanners":
+			if v < 41 || v > 60 {
+				t.Fatalf("scanner TTL mode %v, paper 54", v)
+			}
+		case "attack triggers":
+			if v < 105 || v > 124 {
+				t.Fatalf("trigger TTL mode %v, paper 109", v)
+			}
+		}
+	}
+}
+
+func TestVolumeOrderOfMagnitude(t *testing.T) {
+	tab := sim(t).VolumeReport()
+	// Re-inflated packet count should be within ~20x of the paper's 2.92T
+	// even at test scale (1/2000 worlds are noisy).
+	pkts := cell(t, tab, 0, 1)
+	if !strings.HasSuffix(pkts, "T") && !strings.HasSuffix(pkts, "G") {
+		t.Fatalf("victim packets = %q, want tera/giga scale", pkts)
+	}
+	corr := cell(t, tab, 3, 1)
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(corr, "x"), 64)
+	if v < 2.5 || v > 5.5 {
+		t.Fatalf("under-sampling correction %v, paper 3.8", v)
+	}
+}
+
+func TestMegaReportJapan(t *testing.T) {
+	tab := sim(t).MegaReport()
+	for _, r := range tab.Rows {
+		if r[0] == "largest responder location" && r[1] != "JP" {
+			t.Fatalf("largest mega in %s, paper: all nine extremes in Japan", r[1])
+		}
+	}
+}

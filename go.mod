@@ -1,0 +1,3 @@
+module ntpddos
+
+go 1.23

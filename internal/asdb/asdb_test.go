@@ -1,0 +1,191 @@
+package asdb
+
+import (
+	"testing"
+
+	"ntpddos/internal/geo"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/rng"
+	"ntpddos/internal/routing"
+)
+
+func buildSmall(t *testing.T) *DB {
+	t.Helper()
+	return Build(rng.New(1), Config{NumASes: 200, SpooferFraction: 0.25})
+}
+
+func TestWellKnownASesPresent(t *testing.T) {
+	db := buildSmall(t)
+	for _, name := range []string{NameOVH, NameCloudFlare, NameMerit, NameCSU, NameFRGP} {
+		as := db.ByName(name)
+		if as == nil {
+			t.Fatalf("well-known AS %s missing", name)
+		}
+		if len(as.Prefixes) == 0 || len(as.Announced) == 0 {
+			t.Fatalf("%s has no address space", name)
+		}
+	}
+	if db.ByName(NameOVH).Number != 16276 {
+		t.Fatal("OVH must be AS16276 (the paper's top victim AS)")
+	}
+	if db.ByName(NameMerit).Number != 237 {
+		t.Fatal("Merit must be AS237")
+	}
+}
+
+func TestTable6VictimASNs(t *testing.T) {
+	db := buildSmall(t)
+	// Table 6 victim origin ASNs must exist with the right countries.
+	cases := map[routing.ASN]geo.Country{
+		4713: "JP", 4837: "CN", 30083: "US", 8972: "DE",
+		16276: "FR", 39743: "RO", 28666: "BR", 12390: "GB",
+	}
+	for asn, country := range cases {
+		as := db.ByNumber(asn)
+		if as == nil {
+			t.Fatalf("AS%d missing", asn)
+		}
+		if as.Country != country {
+			t.Fatalf("AS%d country = %s, want %s", asn, as.Country, country)
+		}
+	}
+}
+
+func TestOwnerOfRoundTrip(t *testing.T) {
+	db := buildSmall(t)
+	src := rng.New(2)
+	for _, as := range db.ASes {
+		for i := 0; i < 3; i++ {
+			a := as.RandomAddr(src)
+			owner := db.OwnerOf(a)
+			if owner == nil {
+				t.Fatalf("address %v of AS%d resolves to dark space", a, as.Number)
+			}
+			if owner.Number != as.Number {
+				t.Fatalf("address %v of AS%d resolved to AS%d (overlapping allocations)",
+					a, as.Number, owner.Number)
+			}
+		}
+	}
+}
+
+func TestDarknetIsDark(t *testing.T) {
+	db := buildSmall(t)
+	src := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		a := db.DarknetPrefix.Nth(src.Uint64N(db.DarknetPrefix.NumAddrs()))
+		if db.OwnerOf(a) != nil {
+			t.Fatalf("darknet address %v has an owner", a)
+		}
+	}
+}
+
+func TestNoOverlappingAllocations(t *testing.T) {
+	db := Build(rng.New(4), Config{NumASes: 500, SpooferFraction: 0.3})
+	var all []netaddr.Prefix
+	for _, as := range db.ASes {
+		all = append(all, as.Prefixes...)
+	}
+	// O(n²) is fine at test scale.
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[i].Overlaps(all[j]) {
+				t.Fatalf("allocations overlap: %v and %v", all[i], all[j])
+			}
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build(rng.New(7), Config{NumASes: 100, SpooferFraction: 0.25})
+	b := Build(rng.New(7), Config{NumASes: 100, SpooferFraction: 0.25})
+	if len(a.ASes) != len(b.ASes) {
+		t.Fatalf("AS counts differ: %d vs %d", len(a.ASes), len(b.ASes))
+	}
+	for i := range a.ASes {
+		x, y := a.ASes[i], b.ASes[i]
+		if x.Number != y.Number || x.Country != y.Country || x.Type != y.Type ||
+			len(x.Prefixes) != len(y.Prefixes) || x.AllowsSpoofing != y.AllowsSpoofing {
+			t.Fatalf("AS %d differs between same-seed builds", i)
+		}
+		for j := range x.Prefixes {
+			if x.Prefixes[j] != y.Prefixes[j] {
+				t.Fatalf("prefix %d of AS %d differs", j, i)
+			}
+		}
+	}
+}
+
+func TestSpooferFractionApproximate(t *testing.T) {
+	db := Build(rng.New(9), Config{NumASes: 2000, SpooferFraction: 0.25})
+	n := 0
+	for _, as := range db.ASes {
+		if as.AllowsSpoofing {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(db.ASes))
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("spoofer fraction = %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestOfType(t *testing.T) {
+	db := buildSmall(t)
+	hosting := db.OfType(Hosting)
+	if len(hosting) == 0 {
+		t.Fatal("no hosting ASes generated")
+	}
+	for _, as := range hosting {
+		if as.Type != Hosting {
+			t.Fatalf("OfType returned %v", as.Type)
+		}
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	db := buildSmall(t)
+	src := rng.New(11)
+	// Weight only education ASes; every pick must be education.
+	for i := 0; i < 100; i++ {
+		as := db.PickWeighted(src, func(a *AS) float64 {
+			if a.Type == Education {
+				return 1
+			}
+			return 0
+		})
+		if as == nil || as.Type != Education {
+			t.Fatalf("PickWeighted returned %+v", as)
+		}
+	}
+	if db.PickWeighted(src, func(*AS) float64 { return 0 }) != nil {
+		t.Fatal("all-zero weights must return nil")
+	}
+}
+
+func TestRandomAddrInsideAS(t *testing.T) {
+	db := buildSmall(t)
+	src := rng.New(13)
+	as := db.ByName(NameOVH)
+	for i := 0; i < 1000; i++ {
+		if !as.Contains(as.RandomAddr(src)) {
+			t.Fatal("RandomAddr escaped the AS")
+		}
+	}
+}
+
+func TestContinentConsistency(t *testing.T) {
+	db := buildSmall(t)
+	for _, as := range db.ASes {
+		cont, ok := geo.ContinentOf(as.Country)
+		if !ok || cont != as.Continent {
+			t.Fatalf("AS%d continent %v inconsistent with country %s", as.Number, as.Continent, as.Country)
+		}
+	}
+}
+
+func TestASTypeString(t *testing.T) {
+	if Hosting.String() != "hosting" || CDN.String() != "cdn" {
+		t.Fatal("type names wrong")
+	}
+}

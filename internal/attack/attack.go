@@ -1,0 +1,248 @@
+// Package attack models the ecosystem of §5.2: booter services driving
+// fleets of compromised Windows hosts ("bots") that send spoofed-source
+// monlist triggers to harvested amplifiers. The package reproduces the
+// attacker-side signals the paper measures — the gamer-heavy attacked-port
+// mix (Table 4), the Windows TTL fingerprint of trigger traffic vs. the
+// Linux fingerprint of reconnaissance scanning (§7.2), amplifier priming
+// (§3.2), coordination of many amplifiers on one victim (§7.2), and the
+// diurnal pattern of Figure 13.
+package attack
+
+import (
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/netsim"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/rng"
+)
+
+// PortChoice is one row of the attacked-port catalogue.
+type PortChoice struct {
+	Port   uint16
+	Weight float64
+	Game   bool
+	Use    string
+}
+
+// PortCatalog reproduces Table 4's attacked-port distribution, plus a
+// "tail" share spread over ephemeral ports. These weights are a population
+// property of 2014's attacker preferences, used directly.
+var PortCatalog = []PortChoice{
+	{80, 0.362, true, "None. via TCP:HTTP (g)"},
+	{123, 0.238, false, "NTP server port"},
+	{3074, 0.079, true, "XBox Live (g)"},
+	{50557, 0.062, false, "Unknown"},
+	{53, 0.025, true, "DNS; XBox Live (g)"},
+	{25565, 0.021, true, "Minecraft (g)"},
+	{19, 0.012, false, "chargen protocol"},
+	{22, 0.011, false, "None. via TCP:SSH"},
+	{5223, 0.007, true, "Playstation (g); other"},
+	{27015, 0.006, true, "Steam/e.g. Half-Life (g)"},
+	{43594, 0.004, true, "Runescape (g)"},
+	{9987, 0.004, true, "TeamSpeak3 (g)"},
+	{8080, 0.004, false, "None. via TCP:HTTP alt."},
+	{6005, 0.003, false, "Unknown"},
+	{7777, 0.003, true, "Several games (g); other"},
+	{2052, 0.003, true, "Star Wars (g)"},
+	{1025, 0.002, false, "Win RPC; other"},
+	{1026, 0.002, false, "Win RPC; other"},
+	{88, 0.002, true, "XBox Live (g)"},
+	{90, 0.002, false, "DNSIX (military)"},
+}
+
+// tailWeight is the probability mass outside the top 20 ports.
+const tailWeight = 0.15
+
+var portTable = func() *rng.WeightedTable {
+	w := make([]float64, len(PortCatalog)+1)
+	for i, p := range PortCatalog {
+		w[i] = p.Weight
+	}
+	w[len(PortCatalog)] = tailWeight
+	return rng.NewWeightedTable(w)
+}()
+
+// SamplePort draws a victim port from the Table 4 distribution. Tail draws
+// return a high ephemeral port.
+func SamplePort(src *rng.Source) uint16 {
+	i := portTable.Draw(src)
+	if i < len(PortCatalog) {
+		return PortCatalog[i].Port
+	}
+	return uint16(10000 + src.IntN(50000))
+}
+
+// IsGamePort reports whether a port is gaming-associated per Table 4.
+func IsGamePort(port uint16) bool {
+	for _, p := range PortCatalog {
+		if p.Port == port {
+			return p.Game
+		}
+	}
+	return false
+}
+
+// DiurnalWeight returns the relative likelihood of attack activity at the
+// given UTC hour. The paper observes "a diurnal pattern of traffic destined
+// to the victims perhaps suggesting a manual element": activity peaks in
+// evening hours and troughs early morning.
+func DiurnalWeight(hour int) float64 {
+	// Trough at 06:00, peak at 20:00 UTC (US/EU evening overlap).
+	shifted := (hour + 24 - 6) % 24
+	return 0.3 + 0.7*float64(shifted)/23
+}
+
+// SampleStartHour draws a campaign start hour from the diurnal profile.
+func SampleStartHour(src *rng.Source) int {
+	w := make([]float64, 24)
+	for h := range w {
+		w[h] = DiurnalWeight(h)
+	}
+	return src.Weighted(w)
+}
+
+// Campaign is one attack against one victim IP.
+type Campaign struct {
+	Victim   netaddr.Addr
+	Port     uint16
+	Start    time.Time
+	Duration time.Duration
+	// TriggerRate is spoofed monlist packets per second sent to EACH
+	// amplifier in the set.
+	TriggerRate float64
+	// Amplifiers used, coordinated on the same victim.
+	Amplifiers []netaddr.Addr
+	// PrimeSources, if positive, first warms each amplifier's monitor table
+	// with that many synthetic clients so monlist replies are maximal.
+	PrimeSources int
+	// Interval overrides the engine's trigger batching interval for this
+	// campaign (long campaigns coarsen batching to bound event counts).
+	Interval time.Duration
+}
+
+// Engine launches campaigns on the fabric.
+type Engine struct {
+	Network *netsim.Network
+	Source  *rng.Source
+	// Bots are the spoofing-capable trigger nodes (Windows fingerprint).
+	Bots []netaddr.Addr
+	// TriggerInterval is the batching granularity: one real datagram with
+	// Rep = TriggerRate × interval is emitted per amplifier per interval.
+	TriggerInterval time.Duration
+	// OnLaunch, if set, is called once per launched campaign (telemetry).
+	OnLaunch func(Campaign)
+
+	// TriggersSent counts Rep-weighted spoofed packets emitted.
+	TriggersSent int64
+	// TriggersBlocked counts triggers dropped by BCP38 at bot networks.
+	TriggersBlocked int64
+}
+
+// NewEngine builds an engine with a 30-second trigger batching interval.
+func NewEngine(nw *netsim.Network, src *rng.Source, bots []netaddr.Addr) *Engine {
+	return &Engine{Network: nw, Source: src, Bots: bots, TriggerInterval: 30 * time.Second}
+}
+
+// monlistProbe is the spoofed trigger payload: the padded ntpdc-style
+// request booters send.
+var monlistProbe = ntp.NewMonlistRequestPadded(ntp.ImplXNTPD, ntp.ReqMonGetList1)
+
+// Launch schedules a campaign. Triggers are spread over the campaign
+// duration in TriggerInterval batches; each batch sends one Rep-weighted
+// spoofed datagram per amplifier from a random bot.
+func (e *Engine) Launch(c Campaign) {
+	if len(c.Amplifiers) == 0 || len(e.Bots) == 0 {
+		return
+	}
+	if c.Port == 0 {
+		c.Port = SamplePort(e.Source)
+	}
+	sched := e.Network.Scheduler()
+
+	if c.PrimeSources > 0 {
+		e.prime(c)
+	}
+
+	interval := e.TriggerInterval
+	if c.Interval > 0 {
+		interval = c.Interval
+	}
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	if c.Duration < interval {
+		interval = c.Duration
+	}
+	batches := int(c.Duration / interval)
+	if batches < 1 {
+		batches = 1
+	}
+	perBatch := int64(c.TriggerRate * interval.Seconds())
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	// Pre-draw bot choices so scheduling order never perturbs other streams.
+	botIdx := make([]int, batches)
+	for i := range botIdx {
+		botIdx[i] = e.Source.IntN(len(e.Bots))
+	}
+	for b := 0; b < batches; b++ {
+		at := c.Start.Add(time.Duration(b) * interval)
+		bot := e.Bots[botIdx[b]]
+		amps := c.Amplifiers
+		victim, port := c.Victim, c.Port
+		rep := perBatch
+		sched.At(at, func(now time.Time) {
+			for _, amp := range amps {
+				dg := newSpoofedTrigger(victim, port, amp, rep)
+				if e.Network.SendFrom(bot, dg) {
+					e.TriggersSent += rep
+				} else {
+					e.TriggersBlocked += rep
+				}
+			}
+		})
+	}
+	if e.OnLaunch != nil {
+		e.OnLaunch(c)
+	}
+}
+
+// prime warms each amplifier's monitor table shortly before the attack:
+// the attacker "makes connections from various IPs in order to make sure
+// that the monlist table returns the maximum number of entries" (§3.2).
+func (e *Engine) prime(c Campaign) {
+	sched := e.Network.Scheduler()
+	lead := 10 * time.Minute
+	start := c.Start.Add(-lead)
+	if start.Before(e.Network.Now()) {
+		start = e.Network.Now()
+	}
+	for _, amp := range c.Amplifiers {
+		amp := amp
+		base := netaddr.Addr(e.Source.Uint32())
+		n := c.PrimeSources
+		sched.At(start, func(now time.Time) {
+			bot := e.Bots[int(uint32(base))%len(e.Bots)]
+			req := ntp.NewClientRequest(now).AppendTo(nil)
+			for i := 0; i < n; i++ {
+				// Spoofed mode-3 clients: each distinct source becomes a
+				// monitor-table entry.
+				src := base + netaddr.Addr(i)
+				e.Network.SendSpoofed(bot, src, 1024+uint16(i%60000), amp, ntp.Port,
+					netsim.TTLWindows, req)
+			}
+		})
+	}
+}
+
+// newSpoofedTrigger builds the spoofed monlist request bound for amp that
+// claims to come from victim:port. TTL is the Windows default — bots.
+func newSpoofedTrigger(victim netaddr.Addr, port uint16, amp netaddr.Addr, rep int64) *packet.Datagram {
+	dg := packet.NewDatagram(victim, port, amp, ntp.Port, monlistProbe)
+	dg.IP.TTL = netsim.TTLWindows
+	dg.Rep = rep
+	return dg
+}

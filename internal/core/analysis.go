@@ -1,0 +1,395 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ntpddos/internal/geo"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/pbl"
+	"ntpddos/internal/routing"
+	"ntpddos/internal/stats"
+	"ntpddos/internal/vtime"
+)
+
+// Registries bundles the joins the analysis performs: BGP origin (routed
+// block + ASN), the PBL (end-host labeling) and GeoIP (continent).
+type Registries struct {
+	Routes      *routing.Table
+	PBL         *pbl.List
+	ContinentOf func(netaddr.Addr) (geo.Continent, bool)
+}
+
+// PopulationRow is one row of Table 1 (for either amplifiers or victims).
+type PopulationRow struct {
+	Date        time.Time
+	IPs         int
+	Blocks      int
+	ASNs        int
+	EndHosts    int
+	EndHostPct  float64
+	IPsPerBlock float64
+}
+
+func populationRow(date time.Time, addrs []netaddr.Addr, reg Registries) PopulationRow {
+	row := PopulationRow{Date: date, IPs: len(addrs)}
+	g := reg.Routes.Aggregate(addrs)
+	row.Blocks = g.Blocks
+	row.ASNs = g.ASNs
+	row.EndHosts = reg.PBL.CountEndHosts(addrs)
+	if row.IPs > 0 {
+		row.EndHostPct = float64(row.EndHosts) / float64(row.IPs) * 100
+	}
+	if row.Blocks > 0 {
+		row.IPsPerBlock = float64(row.IPs) / float64(row.Blocks)
+	}
+	return row
+}
+
+// PopulationTable computes Table 1: per-sample amplifier and victim
+// populations with routed-block/AS aggregation and end-host labeling.
+func PopulationTable(samples []*SampleAnalysis, reg Registries) (amps, victims []PopulationRow) {
+	for _, s := range samples {
+		amps = append(amps, populationRow(s.Date, s.AmplifierSet().Sorted(), reg))
+		victims = append(victims, populationRow(s.Date, s.VictimSet().Sorted(), reg))
+	}
+	return amps, victims
+}
+
+// BAFBoxplots computes the Figure 4b/4c per-sample BAF distributions.
+func BAFBoxplots(samples []*SampleAnalysis) []stats.BoxPlot {
+	out := make([]stats.BoxPlot, len(samples))
+	for i, s := range samples {
+		vals := make([]float64, 0, len(s.Amps))
+		for _, r := range s.Amps {
+			vals = append(vals, r.BAF)
+		}
+		out[i] = stats.NewBoxPlot(vals)
+	}
+	return out
+}
+
+// BytesBoxplots computes the Figure 4a per-sample distribution of aggregate
+// bytes returned per query.
+func BytesBoxplots(samples []*SampleAnalysis) []stats.BoxPlot {
+	out := make([]stats.BoxPlot, len(samples))
+	for i, s := range samples {
+		vals := make([]float64, 0, len(s.Amps))
+		for _, r := range s.Amps {
+			vals = append(vals, float64(r.Bytes))
+		}
+		out[i] = stats.NewBoxPlot(vals)
+	}
+	return out
+}
+
+// RankedBytes returns all amplifiers' per-sample byte totals sorted
+// descending — Figure 4a's rank curve (averaged across samples per IP).
+func RankedBytes(samples []*SampleAnalysis) []float64 {
+	sum := make(map[netaddr.Addr]float64)
+	n := make(map[netaddr.Addr]int)
+	for _, s := range samples {
+		for a, r := range s.Amps {
+			sum[a] += float64(r.Bytes)
+			n[a]++
+		}
+	}
+	out := make([]float64, 0, len(sum))
+	for a, total := range sum {
+		out = append(out, total/float64(n[a]))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// ASConcentration computes Figure 5: ranked CDFs of victim packets grouped
+// by amplifier AS (who sent) and victim AS (who received).
+func ASConcentration(samples []*SampleAnalysis, reg Registries) (ampCDF, victimCDF stats.RankedCDF, ampASes, victimASes int) {
+	byAmpAS := make(map[routing.ASN]float64)
+	byVicAS := make(map[routing.ASN]float64)
+	for _, s := range samples {
+		for _, v := range s.Victims {
+			if asn, ok := reg.Routes.OriginOf(v.Amplifier); ok {
+				byAmpAS[asn] += float64(v.Count)
+			}
+			if asn, ok := reg.Routes.OriginOf(v.Victim); ok {
+				byVicAS[asn] += float64(v.Count)
+			}
+		}
+	}
+	toSlice := func(m map[routing.ASN]float64) []float64 {
+		out := make([]float64, 0, len(m))
+		for _, v := range m {
+			out = append(out, v)
+		}
+		return out
+	}
+	return stats.NewRankedCDF(toSlice(byAmpAS)), stats.NewRankedCDF(toSlice(byVicAS)),
+		len(byAmpAS), len(byVicAS)
+}
+
+// TopVictimASes ranks victim ASes by received packets — the §4.3.1 ranking
+// where OVH (AS16276) tops the list.
+type ASPacketRank struct {
+	ASN     routing.ASN
+	Packets float64
+}
+
+// TopVictimASes returns the k most-attacked ASes.
+func TopVictimASes(samples []*SampleAnalysis, reg Registries, k int) []ASPacketRank {
+	byAS := make(map[routing.ASN]float64)
+	for _, s := range samples {
+		for _, v := range s.Victims {
+			if asn, ok := reg.Routes.OriginOf(v.Victim); ok {
+				byAS[asn] += float64(v.Count)
+			}
+		}
+	}
+	out := make([]ASPacketRank, 0, len(byAS))
+	for asn, p := range byAS {
+		out = append(out, ASPacketRank{ASN: asn, Packets: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// VictimPacketRow is one sample of Figure 6.
+type VictimPacketRow struct {
+	Date              time.Time
+	Mean, Median, P95 float64
+}
+
+// VictimPacketStats computes Figure 6: the distribution of total packets
+// each victim received (summed across its amplifiers) per sample.
+func VictimPacketStats(samples []*SampleAnalysis) []VictimPacketRow {
+	out := make([]VictimPacketRow, 0, len(samples))
+	for _, s := range samples {
+		perVictim := make(map[netaddr.Addr]float64)
+		for _, v := range s.Victims {
+			perVictim[v.Victim] += float64(v.Count)
+		}
+		vals := make([]float64, 0, len(perVictim))
+		for _, c := range perVictim {
+			vals = append(vals, c)
+		}
+		out = append(out, VictimPacketRow{
+			Date:   s.Date,
+			Mean:   stats.Mean(vals),
+			Median: stats.Quantile(vals, 0.5),
+			P95:    stats.Quantile(vals, 0.95),
+		})
+	}
+	return out
+}
+
+// PortTally computes Table 4: victim source ports across all
+// amplifier/victim pairs.
+func PortTally(samples []*SampleAnalysis) *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, s := range samples {
+		for _, v := range s.Victims {
+			h.Add(int(v.Port), 1)
+		}
+	}
+	return h
+}
+
+// AttackTimeSeries computes Figure 7: attacks per hour using derived start
+// times. Each unique victim IP per weekly sample counts as one attack; its
+// start is the median of the per-amplifier derived starts (§4.3.4).
+func AttackTimeSeries(samples []*SampleAnalysis) *stats.TimeSeries {
+	ts := stats.NewTimeSeries(vtime.Epoch, time.Hour)
+	for _, s := range samples {
+		starts := make(map[netaddr.Addr][]time.Time)
+		for _, v := range s.Victims {
+			starts[v.Victim] = append(starts[v.Victim], v.Start)
+		}
+		for _, list := range starts {
+			sort.Slice(list, func(i, j int) bool { return list[i].Before(list[j]) })
+			median := list[len(list)/2]
+			if median.Before(vtime.Epoch) {
+				median = vtime.Epoch
+			}
+			ts.Add(median, 1)
+		}
+	}
+	return ts
+}
+
+// DurationStats summarises per-attack durations for one sample: the §4.3.4
+// medians (~40s since mid-February) and 95th percentiles (6.5h in January
+// declining to ~50 minutes by April).
+func DurationStats(s *SampleAnalysis) (median, p95 time.Duration) {
+	durs := make(map[netaddr.Addr]time.Duration)
+	for _, v := range s.Victims {
+		if v.Duration > durs[v.Victim] {
+			durs[v.Victim] = v.Duration
+		}
+	}
+	vals := make([]float64, 0, len(durs))
+	for _, d := range durs {
+		vals = append(vals, d.Seconds())
+	}
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	return time.Duration(stats.Quantile(vals, 0.5) * float64(time.Second)),
+		time.Duration(stats.Quantile(vals, 0.95) * float64(time.Second))
+}
+
+// ChurnStats summarises §3.1's amplifier churn findings.
+type ChurnStats struct {
+	TotalUnique      int
+	FirstSampleShare float64 // fraction of all uniques seen in sample 1
+	SeenOnceShare    float64 // fraction seen in exactly one sample
+}
+
+// Churn computes amplifier churn across samples.
+func Churn(samples []*SampleAnalysis) ChurnStats {
+	seen := make(map[netaddr.Addr]int)
+	for _, s := range samples {
+		for a := range s.Amps {
+			seen[a]++
+		}
+	}
+	var out ChurnStats
+	out.TotalUnique = len(seen)
+	if out.TotalUnique == 0 || len(samples) == 0 {
+		return out
+	}
+	once := 0
+	for _, n := range seen {
+		if n == 1 {
+			once++
+		}
+	}
+	out.SeenOnceShare = float64(once) / float64(out.TotalUnique)
+	out.FirstSampleShare = float64(len(samples[0].Amps)) / float64(out.TotalUnique)
+	return out
+}
+
+// RemediationLevels is §6.1's network-granularity comparison: percentage
+// reduction from the first to the last sample at each aggregation level.
+type RemediationLevels struct {
+	IPPct, Slash24Pct, BlockPct, ASPct float64
+}
+
+func pctReduction(first, last int) float64 {
+	if first == 0 {
+		return 0
+	}
+	return (1 - float64(last)/float64(first)) * 100
+}
+
+// RemediationByLevel compares the first and last samples.
+func RemediationByLevel(samples []*SampleAnalysis, reg Registries) RemediationLevels {
+	if len(samples) < 2 {
+		return RemediationLevels{}
+	}
+	f, l := samples[0], samples[len(samples)-1]
+	fa, la := f.AmplifierSet(), l.AmplifierSet()
+	fg := reg.Routes.Aggregate(fa.Sorted())
+	lg := reg.Routes.Aggregate(la.Sorted())
+	return RemediationLevels{
+		IPPct:      pctReduction(fa.Len(), la.Len()),
+		Slash24Pct: pctReduction(fa.CountDistinct24s(), la.CountDistinct24s()),
+		BlockPct:   pctReduction(fg.Blocks, lg.Blocks),
+		ASPct:      pctReduction(fg.ASNs, lg.ASNs),
+	}
+}
+
+// RemediationByContinent computes §6.1's regional remediation percentages.
+func RemediationByContinent(samples []*SampleAnalysis, reg Registries) map[geo.Continent]float64 {
+	out := make(map[geo.Continent]float64)
+	if len(samples) < 2 || reg.ContinentOf == nil {
+		return out
+	}
+	count := func(s *SampleAnalysis) map[geo.Continent]int {
+		m := make(map[geo.Continent]int)
+		for a := range s.Amps {
+			if c, ok := reg.ContinentOf(a); ok {
+				m[c]++
+			}
+		}
+		return m
+	}
+	first := count(samples[0])
+	last := count(samples[len(samples)-1])
+	for c, f := range first {
+		out[c] = pctReduction(f, last[c])
+	}
+	return out
+}
+
+// PoolRelativeSeries normalises a pool-size series to its peak — the Figure
+// 10 y-axis ("Amplifier Pool Size Relative to Peak (%)").
+func PoolRelativeSeries(sizes []int) []float64 {
+	peak := 0
+	for _, n := range sizes {
+		if n > peak {
+			peak = n
+		}
+	}
+	out := make([]float64, len(sizes))
+	if peak == 0 {
+		return out
+	}
+	for i, n := range sizes {
+		out[i] = float64(n) / float64(peak) * 100
+	}
+	return out
+}
+
+// VolumeStats is §4.3.3's aggregate attack-volume estimate.
+type VolumeStats struct {
+	TotalPackets    int64
+	UniqueVictims   int
+	MedianWireBytes float64
+	// EstBytes = TotalPackets × MedianWireBytes: the "1.2 petabytes" figure.
+	EstBytes float64
+	// CorrectionFactor is the §4.2 under-sampling factor (≈3.8).
+	CorrectionFactor float64
+}
+
+// AggregateVolume sums victim packet counts across all samples.
+func AggregateVolume(samples []*SampleAnalysis, medianWireBytes float64) VolumeStats {
+	var v VolumeStats
+	victims := netaddr.NewSet(0)
+	var windows []time.Duration
+	for _, s := range samples {
+		for _, ob := range s.Victims {
+			v.TotalPackets += ob.Count
+			victims.Add(ob.Victim)
+		}
+		if s.WindowMedian > 0 {
+			windows = append(windows, s.WindowMedian)
+		}
+	}
+	v.UniqueVictims = victims.Len()
+	v.MedianWireBytes = medianWireBytes
+	v.EstBytes = float64(v.TotalPackets) * medianWireBytes
+	if len(windows) > 0 {
+		v.CorrectionFactor = UnderSampleFactor(medianDuration(windows))
+	} else {
+		v.CorrectionFactor = 1
+	}
+	return v
+}
+
+// PoolOverlap computes §6.2's pool intersections: how many monlist
+// amplifiers are also open DNS resolvers.
+func PoolOverlap(monlist, dnsPool netaddr.Set) (count int, fraction float64) {
+	count = monlist.IntersectCount(dnsPool)
+	if monlist.Len() > 0 {
+		fraction = float64(count) / float64(monlist.Len())
+	}
+	return count, fraction
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ntpddos/internal/geo"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/pbl"
+	"ntpddos/internal/routing"
+	"ntpddos/internal/vtime"
+)
+
+// fakeSample builds a SampleAnalysis with amplifiers and victim counts laid
+// out explicitly.
+func fakeSample(date time.Time, amps []netaddr.Addr, victims []VictimObservation) *SampleAnalysis {
+	s := &SampleAnalysis{Date: date, Kind: "monlist", Amps: make(map[netaddr.Addr]*AmpRecord)}
+	for _, a := range amps {
+		s.Amps[a] = &AmpRecord{Addr: a, Bytes: 420, Packets: 1, BAF: 5}
+	}
+	s.Victims = victims
+	return s
+}
+
+func testRegistries() Registries {
+	rt := routing.NewTable()
+	rt.Announce(netaddr.MustParsePrefix("10.0.0.0/16"), 100)
+	rt.Announce(netaddr.MustParsePrefix("10.1.0.0/16"), 200)
+	rt.Announce(netaddr.MustParsePrefix("20.0.0.0/16"), 300)
+	rt.Freeze()
+	pl := pbl.New()
+	pl.Add(netaddr.MustParsePrefix("10.1.0.0/16")) // AS200 space is end hosts
+	return Registries{
+		Routes: rt,
+		PBL:    pl,
+		ContinentOf: func(a netaddr.Addr) (geo.Continent, bool) {
+			if netaddr.MustParsePrefix("10.0.0.0/16").Contains(a) {
+				return geo.NorthAmerica, true
+			}
+			return geo.SouthAmerica, true
+		},
+	}
+}
+
+func TestPopulationTable(t *testing.T) {
+	reg := testRegistries()
+	amps := []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("10.0.0.2"),
+		netaddr.MustParseAddr("10.1.0.1"),
+	}
+	victims := []VictimObservation{
+		{Victim: netaddr.MustParseAddr("20.0.0.1"), Amplifier: amps[0], Count: 10},
+		{Victim: netaddr.MustParseAddr("20.0.0.2"), Amplifier: amps[0], Count: 10},
+	}
+	s := fakeSample(vtime.Epoch, amps, victims)
+	ampRows, vicRows := PopulationTable([]*SampleAnalysis{s}, reg)
+	if len(ampRows) != 1 || len(vicRows) != 1 {
+		t.Fatal("row counts wrong")
+	}
+	a := ampRows[0]
+	if a.IPs != 3 || a.Blocks != 2 || a.ASNs != 2 || a.EndHosts != 1 {
+		t.Fatalf("amp row = %+v", a)
+	}
+	if math.Abs(a.EndHostPct-33.33) > 0.1 || math.Abs(a.IPsPerBlock-1.5) > 1e-9 {
+		t.Fatalf("amp derived cols = %+v", a)
+	}
+	v := vicRows[0]
+	if v.IPs != 2 || v.Blocks != 1 || v.ASNs != 1 {
+		t.Fatalf("victim row = %+v", v)
+	}
+}
+
+func TestASConcentration(t *testing.T) {
+	reg := testRegistries()
+	amp1 := netaddr.MustParseAddr("10.0.0.1") // AS100
+	amp2 := netaddr.MustParseAddr("10.1.0.1") // AS200
+	vic := netaddr.MustParseAddr("20.0.0.1")  // AS300
+	s := fakeSample(vtime.Epoch, []netaddr.Addr{amp1, amp2}, []VictimObservation{
+		{Victim: vic, Amplifier: amp1, Count: 900},
+		{Victim: vic, Amplifier: amp2, Count: 100},
+	})
+	ampCDF, vicCDF, nAmp, nVic := ASConcentration([]*SampleAnalysis{s}, reg)
+	if nAmp != 2 || nVic != 1 {
+		t.Fatalf("AS counts = %d/%d", nAmp, nVic)
+	}
+	if got := ampCDF.ShareOfTop(1); got != 0.9 {
+		t.Fatalf("top amp AS share = %v", got)
+	}
+	if got := vicCDF.ShareOfTop(1); got != 1 {
+		t.Fatalf("top victim AS share = %v", got)
+	}
+}
+
+func TestTopVictimASes(t *testing.T) {
+	reg := testRegistries()
+	s := fakeSample(vtime.Epoch, nil, []VictimObservation{
+		{Victim: netaddr.MustParseAddr("20.0.0.1"), Count: 500},
+		{Victim: netaddr.MustParseAddr("10.1.0.9"), Count: 100},
+	})
+	top := TopVictimASes([]*SampleAnalysis{s}, reg, 10)
+	if len(top) != 2 || top[0].ASN != 300 || top[0].Packets != 500 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestVictimPacketStats(t *testing.T) {
+	s := fakeSample(vtime.Epoch, nil, []VictimObservation{
+		{Victim: 1, Count: 100},
+		{Victim: 1, Count: 100}, // same victim via second amplifier
+		{Victim: 2, Count: 1000},
+	})
+	rows := VictimPacketStats([]*SampleAnalysis{s})
+	if len(rows) != 1 {
+		t.Fatal("rows")
+	}
+	if rows[0].Mean != 600 { // victims saw 200 and 1000
+		t.Fatalf("mean = %v", rows[0].Mean)
+	}
+	if rows[0].Median != 600 {
+		t.Fatalf("median = %v", rows[0].Median)
+	}
+}
+
+func TestPortTally(t *testing.T) {
+	s := fakeSample(vtime.Epoch, nil, []VictimObservation{
+		{Victim: 1, Port: 80}, {Victim: 2, Port: 80}, {Victim: 3, Port: 123},
+	})
+	h := PortTally([]*SampleAnalysis{s})
+	top := h.TopK(2)
+	if top[0].Value != 80 || top[0].Count != 2 || top[1].Value != 123 {
+		t.Fatalf("port tally = %+v", top)
+	}
+}
+
+func TestAttackTimeSeriesMedianStart(t *testing.T) {
+	base := vtime.Epoch.Add(100 * time.Hour)
+	s := fakeSample(base, nil, []VictimObservation{
+		{Victim: 1, Start: base.Add(-3 * time.Hour)},
+		{Victim: 1, Start: base.Add(-2 * time.Hour)},
+		{Victim: 1, Start: base.Add(-1 * time.Hour)},
+		{Victim: 2, Start: base.Add(-5 * time.Hour)},
+	})
+	ts := AttackTimeSeries([]*SampleAnalysis{s})
+	// Victim 1's median start is -2h; victim 2's is -5h.
+	if got := ts.At(base.Add(-2 * time.Hour)); got != 1 {
+		t.Fatalf("victim-1 attack not at median start: %v", got)
+	}
+	if got := ts.At(base.Add(-5 * time.Hour)); got != 1 {
+		t.Fatalf("victim-2 attack missing: %v", got)
+	}
+}
+
+func TestDurationStats(t *testing.T) {
+	s := fakeSample(vtime.Epoch, nil, []VictimObservation{
+		{Victim: 1, Duration: 40 * time.Second},
+		{Victim: 2, Duration: 60 * time.Second},
+		{Victim: 3, Duration: 6 * time.Hour},
+	})
+	median, p95 := DurationStats(s)
+	if median != 60*time.Second {
+		t.Fatalf("median duration = %v", median)
+	}
+	if p95 < time.Hour {
+		t.Fatalf("p95 duration = %v", p95)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	s1 := fakeSample(vtime.Epoch, []netaddr.Addr{1, 2, 3}, nil)
+	s2 := fakeSample(vtime.Epoch.Add(7*24*time.Hour), []netaddr.Addr{3, 4}, nil)
+	c := Churn([]*SampleAnalysis{s1, s2})
+	if c.TotalUnique != 4 {
+		t.Fatalf("unique = %d", c.TotalUnique)
+	}
+	if c.FirstSampleShare != 0.75 {
+		t.Fatalf("first share = %v", c.FirstSampleShare)
+	}
+	if c.SeenOnceShare != 0.75 { // 1,2,4 seen once
+		t.Fatalf("once share = %v", c.SeenOnceShare)
+	}
+}
+
+func TestRemediationByLevel(t *testing.T) {
+	reg := testRegistries()
+	first := fakeSample(vtime.Epoch, []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("10.0.1.1"),
+		netaddr.MustParseAddr("10.1.0.1"), netaddr.MustParseAddr("10.1.1.1"),
+	}, nil)
+	last := fakeSample(vtime.Epoch.Add(14*24*time.Hour), []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.1"),
+	}, nil)
+	r := RemediationByLevel([]*SampleAnalysis{first, last}, reg)
+	if r.IPPct != 75 {
+		t.Fatalf("IP reduction = %v", r.IPPct)
+	}
+	if r.Slash24Pct != 75 {
+		t.Fatalf("/24 reduction = %v", r.Slash24Pct)
+	}
+	if r.ASPct != 50 { // AS100 and AS200 -> AS100
+		t.Fatalf("AS reduction = %v", r.ASPct)
+	}
+	// The paper's §6.1 ordering: reduction shrinks as aggregation coarsens.
+	if r.IPPct < r.ASPct {
+		t.Fatal("IP-level reduction must be >= AS-level")
+	}
+}
+
+func TestRemediationByContinent(t *testing.T) {
+	reg := testRegistries()
+	first := fakeSample(vtime.Epoch, []netaddr.Addr{
+		netaddr.MustParseAddr("10.0.0.1"), netaddr.MustParseAddr("10.0.0.2"), // NA
+		netaddr.MustParseAddr("10.1.0.1"), netaddr.MustParseAddr("10.1.0.2"), // SA
+	}, nil)
+	last := fakeSample(vtime.Epoch.Add(24*time.Hour), []netaddr.Addr{
+		netaddr.MustParseAddr("10.1.0.1"), netaddr.MustParseAddr("10.1.0.2"),
+	}, nil)
+	byCont := RemediationByContinent([]*SampleAnalysis{first, last}, reg)
+	if byCont[geo.NorthAmerica] != 100 || byCont[geo.SouthAmerica] != 0 {
+		t.Fatalf("continent remediation = %+v", byCont)
+	}
+}
+
+func TestPoolRelativeSeries(t *testing.T) {
+	got := PoolRelativeSeries([]int{500, 1000, 100})
+	want := []float64{50, 100, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("relative series = %v", got)
+		}
+	}
+	if s := PoolRelativeSeries(nil); len(s) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestAggregateVolume(t *testing.T) {
+	s1 := fakeSample(vtime.Epoch, nil, []VictimObservation{
+		{Victim: 1, Count: 1000}, {Victim: 2, Count: 500},
+	})
+	s1.WindowMedian = 44 * time.Hour
+	s2 := fakeSample(vtime.Epoch.Add(7*24*time.Hour), nil, []VictimObservation{
+		{Victim: 1, Count: 2000},
+	})
+	s2.WindowMedian = 44 * time.Hour
+	v := AggregateVolume([]*SampleAnalysis{s1, s2}, 420)
+	if v.TotalPackets != 3500 || v.UniqueVictims != 2 {
+		t.Fatalf("volume = %+v", v)
+	}
+	if v.EstBytes != 3500*420 {
+		t.Fatalf("bytes = %v", v.EstBytes)
+	}
+	if v.CorrectionFactor < 3.7 || v.CorrectionFactor > 3.9 {
+		t.Fatalf("correction = %v", v.CorrectionFactor)
+	}
+}
+
+func TestPoolOverlap(t *testing.T) {
+	monlist := netaddr.NewSet(0)
+	dnsPool := netaddr.NewSet(0)
+	for i := 0; i < 100; i++ {
+		monlist.Add(netaddr.Addr(i))
+	}
+	for i := 90; i < 200; i++ {
+		dnsPool.Add(netaddr.Addr(i))
+	}
+	n, f := PoolOverlap(monlist, dnsPool)
+	if n != 10 || f != 0.1 {
+		t.Fatalf("overlap = %d/%v", n, f)
+	}
+}
+
+func TestBAFAndBytesBoxplots(t *testing.T) {
+	s := fakeSample(vtime.Epoch, []netaddr.Addr{1, 2, 3}, nil)
+	s.Amps[1].BAF, s.Amps[1].Bytes = 2, 200
+	s.Amps[2].BAF, s.Amps[2].Bytes = 4, 400
+	s.Amps[3].BAF, s.Amps[3].Bytes = 1000, 100000
+	bafs := BAFBoxplots([]*SampleAnalysis{s})
+	if bafs[0].Median != 4 || bafs[0].Max != 1000 {
+		t.Fatalf("BAF boxplot = %+v", bafs[0])
+	}
+	bytes := BytesBoxplots([]*SampleAnalysis{s})
+	if bytes[0].Median != 400 {
+		t.Fatalf("bytes boxplot = %+v", bytes[0])
+	}
+	ranked := RankedBytes([]*SampleAnalysis{s})
+	if len(ranked) != 3 || ranked[0] != 100000 || ranked[2] != 200 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"ntpddos/internal/stats"
+)
+
+// DiurnalProfile summarises hour-of-day structure in a time series — the
+// §7.1 observation that victim traffic at Merit shows "a diurnal pattern
+// ... perhaps suggesting a manual element in the attacks".
+type DiurnalProfile struct {
+	// HourMeans holds the average bucket value for each UTC hour 0..23.
+	HourMeans [24]float64
+	// PeakHour and TroughHour locate the extremes.
+	PeakHour, TroughHour int
+	// PeakToTrough is the ratio of the busiest to the quietest hour
+	// (1.0 = perfectly flat; human-driven activity is typically >1.5).
+	PeakToTrough float64
+}
+
+// NewDiurnalProfile folds an hourly series by hour-of-day.
+func NewDiurnalProfile(points []stats.Point) DiurnalProfile {
+	var sums, counts [24]float64
+	for _, p := range points {
+		h := p.Time.UTC().Hour()
+		sums[h] += p.Value
+		counts[h]++
+	}
+	var prof DiurnalProfile
+	for h := 0; h < 24; h++ {
+		if counts[h] > 0 {
+			prof.HourMeans[h] = sums[h] / counts[h]
+		}
+	}
+	peak, trough := 0, 0
+	for h := 1; h < 24; h++ {
+		if prof.HourMeans[h] > prof.HourMeans[peak] {
+			peak = h
+		}
+		if prof.HourMeans[h] < prof.HourMeans[trough] {
+			trough = h
+		}
+	}
+	prof.PeakHour, prof.TroughHour = peak, trough
+	if prof.HourMeans[trough] > 0 {
+		prof.PeakToTrough = prof.HourMeans[peak] / prof.HourMeans[trough]
+	} else if prof.HourMeans[peak] > 0 {
+		prof.PeakToTrough = 1e9 // quietest hour silent: effectively infinite
+	} else {
+		prof.PeakToTrough = 1
+	}
+	return prof
+}
+
+// IsDiurnal reports whether the profile shows meaningful day/night
+// structure (peak at least 1.5x the trough).
+func (p DiurnalProfile) IsDiurnal() bool { return p.PeakToTrough >= 1.5 }

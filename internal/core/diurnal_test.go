@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/stats"
+	"ntpddos/internal/vtime"
+)
+
+func hourlyPoints(f func(day, hour int) float64) []stats.Point {
+	var out []stats.Point
+	for day := 0; day < 14; day++ {
+		for h := 0; h < 24; h++ {
+			out = append(out, stats.Point{
+				Time:  vtime.Epoch.Add(time.Duration(day*24+h) * time.Hour),
+				Value: f(day, h),
+			})
+		}
+	}
+	return out
+}
+
+func TestDiurnalDetectsEveningPeak(t *testing.T) {
+	// Evening-heavy traffic with mild day-to-day noise.
+	p := NewDiurnalProfile(hourlyPoints(func(day, h int) float64 {
+		base := 10.0
+		if h >= 18 && h <= 23 {
+			base = 40
+		}
+		return base + float64(day%3)
+	}))
+	if !p.IsDiurnal() {
+		t.Fatalf("evening-peaked series not flagged diurnal: %+v", p.PeakToTrough)
+	}
+	if p.PeakHour < 18 {
+		t.Fatalf("peak hour = %d, want evening", p.PeakHour)
+	}
+}
+
+func TestFlatSeriesNotDiurnal(t *testing.T) {
+	p := NewDiurnalProfile(hourlyPoints(func(day, h int) float64 { return 100 }))
+	if p.IsDiurnal() {
+		t.Fatalf("flat series flagged diurnal: ratio %v", p.PeakToTrough)
+	}
+	if p.PeakToTrough != 1 {
+		t.Fatalf("flat ratio = %v", p.PeakToTrough)
+	}
+}
+
+func TestSilentTroughIsExtreme(t *testing.T) {
+	p := NewDiurnalProfile(hourlyPoints(func(day, h int) float64 {
+		if h == 12 {
+			return 50
+		}
+		return 0
+	}))
+	if !p.IsDiurnal() || p.PeakHour != 12 {
+		t.Fatalf("profile = %+v", p)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := NewDiurnalProfile(nil)
+	if p.IsDiurnal() {
+		t.Fatal("empty profile flagged diurnal")
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/scan"
+)
+
+// AnalyzeSamplePCAP runs the full per-sample pipeline directly over a
+// libpcap capture of scan responses — the paper's actual input format. The
+// probe address is the scanner's own IP (it appears in monitor tables and
+// must be classified out of the victim set).
+func AnalyzeSamplePCAP(r io.Reader, kind string, date time.Time, probeAddr netaddr.Addr) (*SampleAnalysis, error) {
+	sample, err := scan.ReadPCAP(r, kind, date)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeSample(sample, probeAddr), nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/ntp"
+)
+
+func entries(r *rand.Rand, n int) []ntp.MonEntry {
+	out := make([]ntp.MonEntry, n)
+	for i := range out {
+		out[i] = ntp.MonEntry{
+			Addr: netaddr.Addr(r.Uint32()), Count: uint32(3 + r.IntN(100)),
+			Mode: 7, Port: uint16(r.Uint32()), AvgInterval: uint32(r.IntN(100)),
+			LastSeen: uint32(r.IntN(1000)),
+		}
+	}
+	return out
+}
+
+func TestRebuildSingleTable(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	want := entries(r, 42)
+	packets := ntp.BuildMonlistResponse(want, ntp.ImplXNTPD, ntp.ReqMonGetList1)
+	view, err := RebuildTable(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Copies != 1 || view.Truncated {
+		t.Fatalf("copies=%d truncated=%v", view.Copies, view.Truncated)
+	}
+	if len(view.Entries) != 42 {
+		t.Fatalf("rebuilt %d entries", len(view.Entries))
+	}
+	if view.ItemSize != ntp.MonEntrySizeV1 {
+		t.Fatalf("item size %d", view.ItemSize)
+	}
+	for i := range want {
+		got := view.Entries[i]
+		want[i].DAddr = got.DAddr // DAddr zero in our synthetic entries
+		if got != want[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestRebuildRepeatedCopiesKeepsFinal(t *testing.T) {
+	// A mega amplifier replays the table with growing counts; the final
+	// copy must win (§4.2).
+	r := rand.New(rand.NewPCG(2, 2))
+	base := entries(r, 10)
+	var all [][]byte
+	for copyN := 0; copyN < 5; copyN++ {
+		for i := range base {
+			base[i].Count += 100
+		}
+		all = append(all, ntp.BuildMonlistResponse(base, ntp.ImplXNTPD, ntp.ReqMonGetList1)...)
+	}
+	view, err := RebuildTable(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Copies != 5 {
+		t.Fatalf("copies = %d, want 5", view.Copies)
+	}
+	if len(view.Entries) != 10 {
+		t.Fatalf("final table has %d entries", len(view.Entries))
+	}
+	if view.Entries[0].Count != base[0].Count {
+		t.Fatalf("final count = %d, want %d (the last copy)", view.Entries[0].Count, base[0].Count)
+	}
+}
+
+func TestRebuildToleratesNoise(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	packets := ntp.BuildMonlistResponse(entries(r, 6), ntp.ImplXNTPD, ntp.ReqMonGetList1)
+	noisy := [][]byte{{0x01, 0x02}, nil}
+	noisy = append(noisy, packets...)
+	noisy = append(noisy, []byte("garbage"))
+	view, err := RebuildTable(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Entries) != 6 {
+		t.Fatalf("rebuilt %d entries with noise", len(view.Entries))
+	}
+}
+
+func TestRebuildTruncatedCapture(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	packets := ntp.BuildMonlistResponse(entries(r, 20), ntp.ImplXNTPD, ntp.ReqMonGetList1)
+	view, err := RebuildTable(packets[:len(packets)-1]) // drop the tail fragment
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Truncated {
+		t.Fatal("truncation not detected")
+	}
+	if len(view.Entries) != 18 { // 3 full fragments of 6
+		t.Fatalf("kept %d entries", len(view.Entries))
+	}
+}
+
+func TestRebuildEmptyAndErrorResponses(t *testing.T) {
+	packets := ntp.BuildMonlistResponse(nil, ntp.ImplXNTPD, ntp.ReqMonGetList1)
+	view, err := RebuildTable(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Entries) != 0 || view.Copies != 0 {
+		t.Fatalf("error response produced entries: %+v", view)
+	}
+}
+
+func TestIsMegaVolume(t *testing.T) {
+	if IsMegaVolume(50 << 10) {
+		t.Fatal("50KB flagged mega")
+	}
+	if !IsMegaVolume(200 << 10) {
+		t.Fatal("200KB not flagged mega")
+	}
+}

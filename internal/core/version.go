@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/ntpd"
+	"ntpddos/internal/scan"
+)
+
+// VersionInfo is one server's parsed mode 6 identity.
+type VersionInfo struct {
+	Addr        netaddr.Addr
+	System      string
+	Version     string
+	Stratum     int
+	CompileYear int
+}
+
+// ParseVersionResponses reassembles and parses the readvar payloads of one
+// version-scan response.
+func ParseVersionResponses(addr netaddr.Addr, payloads [][]byte) (VersionInfo, bool) {
+	var frags []*ntp.Mode6
+	for _, p := range payloads {
+		m, err := ntp.DecodeMode6(p)
+		if err != nil || !m.Response {
+			continue
+		}
+		frags = append(frags, m)
+	}
+	if len(frags) == 0 {
+		return VersionInfo{}, false
+	}
+	text, err := ntp.ReassembleMode6(frags)
+	if err != nil {
+		return VersionInfo{}, false
+	}
+	v := ntp.ParseSystemVariables(text)
+	return VersionInfo{
+		Addr:        addr,
+		System:      v.System,
+		Version:     v.Version,
+		Stratum:     v.Stratum,
+		CompileYear: ntpd.ExtractCompileYear(v.Version),
+	}, true
+}
+
+// VersionCensus is the §3.3 aggregation over a version-scan sample.
+type VersionCensus struct {
+	Total int
+	// OSShare maps system string to percentage — a Table 2 column.
+	OSShare map[string]float64
+	// Stratum16Pct is the fraction of servers reporting stratum 16
+	// (unsynchronized): 19% in the paper.
+	Stratum16Pct float64
+	// CompileYearCDF maps year Y to the fraction compiled strictly before Y.
+	CompileYearBefore map[int]float64
+	infos             []VersionInfo
+}
+
+// AnalyzeVersionSample parses every response of a version-scan sample.
+func AnalyzeVersionSample(sample *scan.Sample) *VersionCensus {
+	c := &VersionCensus{
+		OSShare:           make(map[string]float64),
+		CompileYearBefore: make(map[int]float64),
+	}
+	for addr, resp := range sample.Responses {
+		info, ok := ParseVersionResponses(addr, resp.Payloads)
+		if !ok {
+			continue
+		}
+		c.infos = append(c.infos, info)
+	}
+	sort.Slice(c.infos, func(i, j int) bool { return c.infos[i].Addr < c.infos[j].Addr })
+	c.Total = len(c.infos)
+	if c.Total == 0 {
+		return c
+	}
+	stratum16 := 0
+	yearCount := 0
+	for _, info := range c.infos {
+		c.OSShare[info.System]++
+		if info.Stratum == ntp.StratumUnsynchronized {
+			stratum16++
+		}
+		if info.CompileYear > 0 {
+			yearCount++
+		}
+	}
+	for k := range c.OSShare {
+		c.OSShare[k] = c.OSShare[k] / float64(c.Total) * 100
+	}
+	c.Stratum16Pct = float64(stratum16) / float64(c.Total) * 100
+	for _, y := range []int{2004, 2010, 2011, 2012, 2013} {
+		before := 0
+		for _, info := range c.infos {
+			if info.CompileYear > 0 && info.CompileYear < y {
+				before++
+			}
+		}
+		if yearCount > 0 {
+			c.CompileYearBefore[y] = float64(before) / float64(yearCount) * 100
+		}
+	}
+	return c
+}
+
+// OSShareOf computes a Table 2-style system-string distribution restricted
+// to the given address subset (e.g. the monlist amplifier pool or the mega
+// amplifier pool). Addresses without version info are skipped — in the
+// paper, too, only about half the mega pool answered the version probe.
+func (c *VersionCensus) OSShareOf(subset netaddr.Set) map[string]float64 {
+	counts := make(map[string]float64)
+	total := 0
+	for _, info := range c.infos {
+		if subset.Has(info.Addr) {
+			counts[info.System]++
+			total++
+		}
+	}
+	for k := range counts {
+		counts[k] = counts[k] / float64(total) * 100
+	}
+	return counts
+}
+
+// Infos returns the parsed per-server records (sorted by address).
+func (c *VersionCensus) Infos() []VersionInfo { return c.infos }

@@ -1,0 +1,264 @@
+// Package dns implements a minimal DNS wire format and an open-resolver
+// host. The paper compares NTP monlist remediation against the open DNS
+// resolver pool (Figure 10: the DNS pool barely shrank over a year while
+// monlist amplifiers dropped 92%), and computes the overlap between the two
+// amplifier pools (§6.2) — both need DNS resolvers on the fabric.
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/netsim"
+	"ntpddos/internal/packet"
+)
+
+// Port is the DNS UDP port.
+const Port = 53
+
+// Query/record types used by the simulation.
+const (
+	TypeA   = 1
+	TypeTXT = 16
+	TypeANY = 255
+)
+
+// Header flag bits.
+const (
+	flagResponse  = 1 << 15
+	flagRecursion = 1 << 8 // RD
+	flagRecAvail  = 1 << 7 // RA
+)
+
+// Message is a DNS message restricted to the single-question, answer-only
+// shapes amplification abuse actually uses.
+type Message struct {
+	ID        uint16
+	Response  bool
+	Recursion bool
+	RecAvail  bool
+	Question  Question
+	Answers   []Record
+}
+
+// Question is the query section.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Record is a resource record with opaque RDATA.
+type Record struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	Data  []byte
+}
+
+// ErrMalformed reports an undecodable message.
+var ErrMalformed = errors.New("dns: malformed message")
+
+// appendName encodes a dotted name in DNS label format.
+func appendName(b []byte, name string) ([]byte, error) {
+	if name == "" || name == "." {
+		return append(b, 0), nil
+	}
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return b, fmt.Errorf("dns: bad label %q", label)
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	return append(b, 0), nil
+}
+
+// decodeName reads a label-format name (no compression pointers; our
+// encoder never emits them).
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	for {
+		if off >= len(data) {
+			return "", 0, ErrMalformed
+		}
+		l := int(data[off])
+		off++
+		if l == 0 {
+			break
+		}
+		if l > 63 || off+l > len(data) {
+			return "", 0, ErrMalformed
+		}
+		labels = append(labels, string(data[off:off+l]))
+		off += l
+	}
+	return strings.Join(labels, "."), off, nil
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	b := binary.BigEndian.AppendUint16(nil, m.ID)
+	var flags uint16
+	if m.Response {
+		flags |= flagResponse
+	}
+	if m.Recursion {
+		flags |= flagRecursion
+	}
+	if m.RecAvail {
+		flags |= flagRecAvail
+	}
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, 1) // QDCOUNT
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Answers)))
+	b = binary.BigEndian.AppendUint16(b, 0) // NSCOUNT
+	b = binary.BigEndian.AppendUint16(b, 0) // ARCOUNT
+	var err error
+	if b, err = appendName(b, m.Question.Name); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint16(b, m.Question.Type)
+	b = binary.BigEndian.AppendUint16(b, m.Question.Class)
+	for _, r := range m.Answers {
+		if b, err = appendName(b, r.Name); err != nil {
+			return nil, err
+		}
+		b = binary.BigEndian.AppendUint16(b, r.Type)
+		b = binary.BigEndian.AppendUint16(b, r.Class)
+		b = binary.BigEndian.AppendUint32(b, r.TTL)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(r.Data)))
+		b = append(b, r.Data...)
+	}
+	return b, nil
+}
+
+// Decode parses a message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrMalformed
+	}
+	m := &Message{ID: binary.BigEndian.Uint16(data)}
+	flags := binary.BigEndian.Uint16(data[2:])
+	m.Response = flags&flagResponse != 0
+	m.Recursion = flags&flagRecursion != 0
+	m.RecAvail = flags&flagRecAvail != 0
+	qd := binary.BigEndian.Uint16(data[4:])
+	an := binary.BigEndian.Uint16(data[6:])
+	if qd != 1 {
+		return nil, fmt.Errorf("%w: qdcount %d", ErrMalformed, qd)
+	}
+	name, off, err := decodeName(data, 12)
+	if err != nil {
+		return nil, err
+	}
+	if off+4 > len(data) {
+		return nil, ErrMalformed
+	}
+	m.Question = Question{Name: name,
+		Type:  binary.BigEndian.Uint16(data[off:]),
+		Class: binary.BigEndian.Uint16(data[off+2:])}
+	off += 4
+	for i := 0; i < int(an); i++ {
+		var r Record
+		r.Name, off, err = decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+10 > len(data) {
+			return nil, ErrMalformed
+		}
+		r.Type = binary.BigEndian.Uint16(data[off:])
+		r.Class = binary.BigEndian.Uint16(data[off+2:])
+		r.TTL = binary.BigEndian.Uint32(data[off+4:])
+		rdlen := int(binary.BigEndian.Uint16(data[off+8:]))
+		off += 10
+		if off+rdlen > len(data) {
+			return nil, ErrMalformed
+		}
+		r.Data = data[off : off+rdlen]
+		off += rdlen
+		m.Answers = append(m.Answers, r)
+	}
+	return m, nil
+}
+
+// NewQuery builds a recursive query for name/type.
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{ID: id, Recursion: true,
+		Question: Question{Name: name, Type: qtype, Class: 1}}
+}
+
+// Resolver is a simulated DNS server host. Open resolvers answer recursive
+// queries from anyone — the misconfiguration behind DNS amplification.
+type Resolver struct {
+	Addr netaddr.Addr
+	// Open resolvers answer anyone; closed ones only answer their own AS
+	// (we simply drop everything when false).
+	Open bool
+	// AmpPayload is how many bytes of answer RDATA an ANY query returns;
+	// typical abused zones yield 2–4 KB. A/TXT queries return less.
+	AmpPayload int
+
+	QueriesSeen int64
+	BytesSent   int64
+}
+
+// NewResolver builds a resolver with a typical ~3KB ANY amplification.
+func NewResolver(addr netaddr.Addr, open bool) *Resolver {
+	return &Resolver{Addr: addr, Open: open, AmpPayload: 3000}
+}
+
+// HandlePacket implements netsim.Host.
+func (r *Resolver) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	if dg.UDP.DstPort != Port {
+		return
+	}
+	q, err := Decode(dg.Payload)
+	if err != nil || q.Response {
+		return
+	}
+	r.QueriesSeen += dg.Rep
+	if !r.Open {
+		return
+	}
+	resp := &Message{ID: q.ID, Response: true, Recursion: q.Recursion, RecAvail: true,
+		Question: q.Question}
+	switch q.Question.Type {
+	case TypeANY:
+		// Several fat TXT records, fragment-sized as real abused zones are.
+		remaining := r.AmpPayload
+		for remaining > 0 {
+			n := 255
+			if remaining < n {
+				n = remaining
+			}
+			resp.Answers = append(resp.Answers, Record{
+				Name: q.Question.Name, Type: TypeTXT, Class: 1, TTL: 3600,
+				Data: make([]byte, n),
+			})
+			remaining -= n
+		}
+	case TypeA:
+		resp.Answers = []Record{{Name: q.Question.Name, Type: TypeA, Class: 1,
+			TTL: 3600, Data: []byte{93, 184, 216, 34}}}
+	default:
+		resp.Answers = []Record{{Name: q.Question.Name, Type: TypeTXT, Class: 1,
+			TTL: 3600, Data: []byte("v=spf1 -all")}}
+	}
+	raw, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	// UDP DNS truncates at ~4096 with EDNS; our ANY responses stay below.
+	out := packet.NewDatagram(r.Addr, Port, dg.IP.Src, dg.UDP.SrcPort, raw)
+	out.Rep = dg.Rep
+	if nw.SendFrom(r.Addr, out) {
+		r.BytesSent += int64(out.OnWire()) * out.Rep
+	}
+}

@@ -1,0 +1,161 @@
+// Package geo supplies the geographic labels the paper aggregates over:
+// countries grouped into the six continents whose differing remediation
+// rates §6.1 reports (North America 97%, Oceania 93%, Europe 89%, Asia 84%,
+// Africa 77%, South America 63%).
+package geo
+
+import "fmt"
+
+// Continent identifies one of the six populated continents.
+type Continent int
+
+// Continents in the order the paper lists their remediation rates.
+const (
+	NorthAmerica Continent = iota
+	Oceania
+	Europe
+	Asia
+	Africa
+	SouthAmerica
+	numContinents
+)
+
+// Continents lists all continents in declaration order.
+func Continents() []Continent {
+	out := make([]Continent, numContinents)
+	for i := range out {
+		out[i] = Continent(i)
+	}
+	return out
+}
+
+// String returns the continent's name.
+func (c Continent) String() string {
+	switch c {
+	case NorthAmerica:
+		return "North America"
+	case Oceania:
+		return "Oceania"
+	case Europe:
+		return "Europe"
+	case Asia:
+		return "Asia"
+	case Africa:
+		return "Africa"
+	case SouthAmerica:
+		return "South America"
+	}
+	return fmt.Sprintf("Continent(%d)", int(c))
+}
+
+// Country is an ISO-3166-ish two-letter code.
+type Country string
+
+// countryContinent maps the countries that appear in the simulation. The
+// catalogue covers the paper's named victim/amplifier countries (Table 6:
+// Japan, China, USA, Germany, France, Romania, Brazil, UK; §3.4's
+// mega-amplifiers in Japan) plus enough others to populate "184 countries"
+// style dispersion at full scale.
+var countryContinent = map[Country]Continent{
+	// North America
+	"US": NorthAmerica, "CA": NorthAmerica, "MX": NorthAmerica,
+	"GT": NorthAmerica, "CR": NorthAmerica, "PA": NorthAmerica,
+	// Oceania
+	"AU": Oceania, "NZ": Oceania, "FJ": Oceania, "PG": Oceania,
+	// Europe
+	"FR": Europe, "DE": Europe, "GB": Europe, "NL": Europe, "RO": Europe,
+	"IT": Europe, "ES": Europe, "PL": Europe, "SE": Europe, "RU": Europe,
+	"UA": Europe, "CZ": Europe, "CH": Europe, "AT": Europe, "TR": Europe,
+	// Asia
+	"JP": Asia, "CN": Asia, "KR": Asia, "IN": Asia, "TW": Asia,
+	"HK": Asia, "SG": Asia, "TH": Asia, "VN": Asia, "ID": Asia,
+	"MY": Asia, "PH": Asia, "IR": Asia, "SA": Asia,
+	// Africa
+	"ZA": Africa, "EG": Africa, "NG": Africa, "KE": Africa, "MA": Africa,
+	"TN": Africa, "GH": Africa,
+	// South America
+	"BR": SouthAmerica, "AR": SouthAmerica, "CL": SouthAmerica,
+	"CO": SouthAmerica, "PE": SouthAmerica, "VE": SouthAmerica,
+	"EC": SouthAmerica, "UY": SouthAmerica,
+}
+
+// ContinentOf returns the continent of a known country. Unknown countries
+// return ok = false rather than a default: mislabeling would silently skew
+// the §6.1 regional remediation analysis.
+func ContinentOf(c Country) (Continent, bool) {
+	cont, ok := countryContinent[c]
+	return cont, ok
+}
+
+// CountriesIn returns the catalogue's countries on a continent, in a
+// deterministic (declaration-group) order.
+func CountriesIn(c Continent) []Country {
+	var out []Country
+	for _, cc := range allCountries {
+		if countryContinent[cc] == c {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// allCountries keeps a deterministic iteration order (map iteration order
+// would leak nondeterminism into world generation).
+var allCountries = []Country{
+	"US", "CA", "MX", "GT", "CR", "PA",
+	"AU", "NZ", "FJ", "PG",
+	"FR", "DE", "GB", "NL", "RO", "IT", "ES", "PL", "SE", "RU", "UA", "CZ", "CH", "AT", "TR",
+	"JP", "CN", "KR", "IN", "TW", "HK", "SG", "TH", "VN", "ID", "MY", "PH", "IR", "SA",
+	"ZA", "EG", "NG", "KE", "MA", "TN", "GH",
+	"BR", "AR", "CL", "CO", "PE", "VE", "EC", "UY",
+}
+
+// AllCountries returns the full catalogue in deterministic order.
+func AllCountries() []Country {
+	out := make([]Country, len(allCountries))
+	copy(out, allCountries)
+	return out
+}
+
+// HostShare returns the approximate share of global Internet hosts on each
+// continent, used to size the synthetic address allocation. The shares are
+// rough public estimates for the 2013–2014 period; only their ordering and
+// rough magnitude matter for reproduction shape.
+func HostShare(c Continent) float64 {
+	switch c {
+	case NorthAmerica:
+		return 0.30
+	case Europe:
+		return 0.28
+	case Asia:
+		return 0.28
+	case SouthAmerica:
+		return 0.07
+	case Oceania:
+		return 0.03
+	case Africa:
+		return 0.04
+	}
+	return 0
+}
+
+// RemediationSpeed returns the relative per-continent remediation hazard
+// multiplier the scenario uses so that final remediated fractions land near
+// the paper's §6.1 values (NA 97% … SA 63%). Larger is faster.
+func RemediationSpeed(c Continent) float64 {
+	switch c {
+	case NorthAmerica:
+		return 3.0
+	case Oceania:
+		return 1.8
+	case Europe:
+		return 1.1
+	case Asia:
+		return 0.75
+	case Africa:
+		return 0.45
+	case SouthAmerica:
+		return 0.22
+	}
+	return 1
+}

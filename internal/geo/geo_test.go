@@ -1,0 +1,83 @@
+package geo
+
+import "testing"
+
+func TestContinentOfPaperCountries(t *testing.T) {
+	// The paper's Table 6 victim countries plus §3.4's Japan mega-amps.
+	cases := map[Country]Continent{
+		"JP": Asia, "CN": Asia, "US": NorthAmerica, "DE": Europe,
+		"FR": Europe, "RO": Europe, "BR": SouthAmerica, "GB": Europe,
+		"AU": Oceania, "ZA": Africa,
+	}
+	for country, want := range cases {
+		got, ok := ContinentOf(country)
+		if !ok || got != want {
+			t.Fatalf("ContinentOf(%s) = %v/%v, want %v", country, got, ok, want)
+		}
+	}
+}
+
+func TestContinentOfUnknown(t *testing.T) {
+	if _, ok := ContinentOf("XX"); ok {
+		t.Fatal("unknown country must not resolve")
+	}
+}
+
+func TestEveryCountryHasContinent(t *testing.T) {
+	for _, c := range AllCountries() {
+		if _, ok := ContinentOf(c); !ok {
+			t.Fatalf("catalogue country %s has no continent", c)
+		}
+	}
+}
+
+func TestCountriesInPartition(t *testing.T) {
+	total := 0
+	seen := map[Country]bool{}
+	for _, cont := range Continents() {
+		for _, c := range CountriesIn(cont) {
+			if seen[c] {
+				t.Fatalf("country %s in two continents", c)
+			}
+			seen[c] = true
+			total++
+		}
+	}
+	if total != len(AllCountries()) {
+		t.Fatalf("continents cover %d countries, catalogue has %d", total, len(AllCountries()))
+	}
+}
+
+func TestHostShareSumsToOne(t *testing.T) {
+	sum := 0.0
+	for _, c := range Continents() {
+		s := HostShare(c)
+		if s <= 0 {
+			t.Fatalf("HostShare(%v) = %v", c, s)
+		}
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("host shares sum to %v", sum)
+	}
+}
+
+func TestRemediationSpeedOrdering(t *testing.T) {
+	// §6.1 final remediated fractions order: NA > Oceania > EU > Asia >
+	// Africa > SA. The hazard multipliers must preserve that order.
+	order := []Continent{NorthAmerica, Oceania, Europe, Asia, Africa, SouthAmerica}
+	for i := 1; i < len(order); i++ {
+		if RemediationSpeed(order[i-1]) <= RemediationSpeed(order[i]) {
+			t.Fatalf("remediation speed of %v not above %v", order[i-1], order[i])
+		}
+	}
+}
+
+func TestContinentString(t *testing.T) {
+	if NorthAmerica.String() != "North America" || SouthAmerica.String() != "South America" {
+		t.Fatal("continent names wrong")
+	}
+	if Continent(99).String() == "" {
+		t.Fatal("out-of-range continent must still render")
+	}
+}

@@ -1,0 +1,398 @@
+// Package ispview implements the §7 regional-network vantage points: flow
+// and packet-level taps over one ISP's address space (Merit, FRGP, CSU in
+// the paper). A view classifies traffic crossing its border and derives the
+// paper's local analyses — NTP volume time series (Figures 11/12), top
+// victims and amplifiers (Tables 5/6, Figure 13), protocol mix (Figure 14),
+// cross-site victim/scanner overlap (Figures 15/16), TTL fingerprints
+// (§7.2), and the 95th-percentile billing impact (§7.1).
+package ispview
+
+import (
+	"sort"
+	"time"
+
+	"ntpddos/internal/asdb"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/stats"
+	"ntpddos/internal/vtime"
+)
+
+// Thresholds from the paper's footnote 3 (following Rossow): a victim is a
+// client receiving at least 100 KB from an amplifier with an
+// amplifier-bytes-to-bytes-sent ratio of at least 100; an amplifier sent at
+// least 10 MB with a sent/received ratio above 5.
+const (
+	VictimMinBytes    = 100 << 10
+	VictimMinRatio    = 100
+	AmplifierMinBytes = 10 << 20
+	AmplifierMinRatio = 5
+)
+
+// AmpStats accumulates per-internal-amplifier traffic.
+type AmpStats struct {
+	Addr netaddr.Addr
+	// PayloadIn/PayloadOut are UDP payload bytes (the footnote's BAF is a
+	// UDP payload ratio); WireOut is on-wire for volume reporting.
+	PayloadIn  int64
+	PayloadOut int64
+	WireOut    int64
+	Victims    netaddr.Set
+	perVictim  map[netaddr.Addr]*pairStats
+}
+
+type pairStats struct {
+	payloadOut int64
+	wireOut    int64
+	packets    int64
+	first      time.Time
+	last       time.Time
+}
+
+// BAF returns the amplifier's payload amplification ratio.
+func (a *AmpStats) BAF() float64 {
+	if a.PayloadIn == 0 {
+		return 0
+	}
+	return float64(a.PayloadOut) / float64(a.PayloadIn)
+}
+
+// VictimStats accumulates per-external-victim traffic from this site's
+// amplifiers.
+type VictimStats struct {
+	Addr       netaddr.Addr
+	PayloadIn  int64 // amplified payload bytes the victim received
+	WireIn     int64
+	Packets    int64
+	TriggerOut int64 // payload bytes of the victim's (spoofed) triggers
+	Amplifiers netaddr.Set
+	First      time.Time
+	Last       time.Time
+	Ports      *stats.Histogram
+	// Hourly is the victim's received on-wire volume per hour — one line of
+	// Figure 13's stacked top-victims chart.
+	Hourly *stats.TimeSeries
+}
+
+// BAF is the victim-side payload ratio (bytes received / trigger bytes).
+func (v *VictimStats) BAF() float64 {
+	if v.TriggerOut == 0 {
+		return 0
+	}
+	return float64(v.PayloadIn) / float64(v.TriggerOut)
+}
+
+// DurationHours is the observed attack span against this victim.
+func (v *VictimStats) DurationHours() float64 {
+	return v.Last.Sub(v.First).Hours()
+}
+
+// ScannerStats tracks one external source probing the site.
+type ScannerStats struct {
+	Addr    netaddr.Addr
+	Packets int64
+	Dsts    netaddr.Set
+	First   time.Time
+	Last    time.Time
+}
+
+// View is one regional network's tap. It implements netsim.Tap.
+type View struct {
+	Name string
+
+	db       *asdb.DB
+	prefixes []netaddr.Prefix
+
+	// IngressNTP and EgressNTP are on-wire byte series at hourly buckets:
+	// the Figure 11/12 lines (udp dport=123 and udp sport=123).
+	IngressNTP *stats.TimeSeries
+	EgressNTP  *stats.TimeSeries
+	// ProtoBytes feeds Figure 14's stacked protocol mix. Simulated packets
+	// contribute "ntp"/"dns"; baselines come from AddBaseline.
+	ProtoBytes map[string]*stats.TimeSeries
+
+	amps     map[netaddr.Addr]*AmpStats
+	victims  map[netaddr.Addr]*VictimStats
+	scanners map[netaddr.Addr]*ScannerStats
+
+	// ScanTTL and TriggerTTL are the §7.2 fingerprint histograms of
+	// received TTLs for scanner probes vs. spoofed attack triggers.
+	ScanTTL    *stats.Histogram
+	TriggerTTL *stats.Histogram
+
+	// billingBucket collects hourly total on-wire volumes (simulated
+	// traffic plus baselines) for the 95th-percentile transit billing
+	// model.
+	billingBucket *stats.TimeSeries
+}
+
+// New builds a view over the given ASes' allocations.
+func New(name string, db *asdb.DB, ases ...*asdb.AS) *View {
+	v := &View{
+		Name:          name,
+		db:            db,
+		IngressNTP:    stats.NewTimeSeries(vtime.Epoch, time.Hour),
+		EgressNTP:     stats.NewTimeSeries(vtime.Epoch, time.Hour),
+		ProtoBytes:    make(map[string]*stats.TimeSeries),
+		amps:          make(map[netaddr.Addr]*AmpStats),
+		victims:       make(map[netaddr.Addr]*VictimStats),
+		scanners:      make(map[netaddr.Addr]*ScannerStats),
+		ScanTTL:       stats.NewHistogram(),
+		TriggerTTL:    stats.NewHistogram(),
+		billingBucket: stats.NewTimeSeries(vtime.Epoch, time.Hour),
+	}
+	for _, as := range ases {
+		v.prefixes = append(v.prefixes, as.Prefixes...)
+	}
+	return v
+}
+
+// Contains reports whether an address is inside the view's network.
+func (v *View) Contains(a netaddr.Addr) bool {
+	for _, p := range v.prefixes {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *View) proto(dg *packet.Datagram) string {
+	switch {
+	case dg.UDP.SrcPort == ntp.Port || dg.UDP.DstPort == ntp.Port:
+		return "ntp"
+	case dg.UDP.SrcPort == 53 || dg.UDP.DstPort == 53:
+		return "dns"
+	default:
+		return "other"
+	}
+}
+
+func (v *View) addProto(name string, now time.Time, bytes float64) {
+	ts, ok := v.ProtoBytes[name]
+	if !ok {
+		ts = stats.NewTimeSeries(vtime.Epoch, time.Hour)
+		v.ProtoBytes[name] = ts
+	}
+	ts.Add(now, bytes)
+}
+
+// AddBaseline injects background (non-simulated) traffic volume for a
+// protocol class over [from, to) at the given bytes/hour — the HTTP/HTTPS
+// floors of Figure 14.
+func (v *View) AddBaseline(proto string, from, to time.Time, bytesPerHour float64) {
+	for t := from; t.Before(to); t = t.Add(time.Hour) {
+		v.addProto(proto, t, bytesPerHour)
+		v.billingBucket.Add(t, bytesPerHour)
+	}
+}
+
+// Observe implements netsim.Tap.
+func (v *View) Observe(dg *packet.Datagram, now time.Time) {
+	srcIn := v.Contains(dg.IP.Src)
+	dstIn := v.Contains(dg.IP.Dst)
+	if !srcIn && !dstIn {
+		return
+	}
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	wire := int64(dg.OnWire()) * rep
+	payload := int64(len(dg.Payload)) * rep
+	v.addProto(v.proto(dg), now, float64(wire))
+	v.billingBucket.Add(now, float64(wire))
+
+	isNTP := dg.UDP.SrcPort == ntp.Port || dg.UDP.DstPort == ntp.Port
+	if !isNTP {
+		return
+	}
+	mode, _ := ntp.Mode(dg.Payload)
+
+	// Egress NTP: our host answering (sport=123) toward outside.
+	if srcIn && !dstIn && dg.UDP.SrcPort == ntp.Port {
+		v.EgressNTP.Add(now, float64(wire))
+		if mode == ntp.ModePrivate || mode == ntp.ModeControl {
+			amp := v.amp(dg.IP.Src)
+			amp.PayloadOut += payload
+			amp.WireOut += wire
+			amp.Victims.Add(dg.IP.Dst)
+			ps := amp.pair(dg.IP.Dst, now)
+			ps.payloadOut += payload
+			ps.wireOut += wire
+			ps.packets += rep
+			ps.last = now
+
+			vic := v.victim(dg.IP.Dst, now)
+			vic.PayloadIn += payload
+			vic.WireIn += wire
+			vic.Packets += rep
+			vic.Amplifiers.Add(dg.IP.Src)
+			vic.Last = now
+			vic.Ports.Add(int(dg.UDP.DstPort), rep)
+			vic.Hourly.Add(now, float64(wire))
+		}
+	}
+
+	// Ingress NTP: outside traffic toward our hosts (dport=123).
+	if dstIn && !srcIn && dg.UDP.DstPort == ntp.Port {
+		v.IngressNTP.Add(now, float64(wire))
+		amp := v.amp(dg.IP.Dst)
+		amp.PayloadIn += payload
+		if mode == ntp.ModePrivate {
+			m, err := ntp.DecodeMode7(dg.Payload)
+			if err == nil && !m.Response {
+				// Rate separates the two ingress populations: scanners send
+				// single probes; attack triggers arrive in high-rate batches
+				// (Rep > 1). Spoofed trigger "sources" are the victims.
+				if rep > 1 {
+					v.TriggerTTL.Add(int(dg.IP.TTL), rep)
+					vic := v.victim(dg.IP.Src, now)
+					vic.TriggerOut += payload
+				} else {
+					v.ScanTTL.Add(int(dg.IP.TTL), rep)
+					sc, ok := v.scanners[dg.IP.Src]
+					if !ok {
+						sc = &ScannerStats{Addr: dg.IP.Src, Dsts: netaddr.NewSet(0), First: now}
+						v.scanners[dg.IP.Src] = sc
+					}
+					sc.Packets += rep
+					sc.Dsts.Add(dg.IP.Dst)
+					sc.Last = now
+				}
+			}
+		}
+	}
+}
+
+func (v *View) amp(a netaddr.Addr) *AmpStats {
+	s, ok := v.amps[a]
+	if !ok {
+		s = &AmpStats{Addr: a, Victims: netaddr.NewSet(0), perVictim: make(map[netaddr.Addr]*pairStats)}
+		v.amps[a] = s
+	}
+	return s
+}
+
+func (a *AmpStats) pair(victim netaddr.Addr, now time.Time) *pairStats {
+	p, ok := a.perVictim[victim]
+	if !ok {
+		p = &pairStats{first: now, last: now}
+		a.perVictim[victim] = p
+	}
+	return p
+}
+
+func (v *View) victim(a netaddr.Addr, now time.Time) *VictimStats {
+	s, ok := v.victims[a]
+	if !ok {
+		s = &VictimStats{Addr: a, Amplifiers: netaddr.NewSet(0), First: now, Last: now,
+			Ports: stats.NewHistogram(), Hourly: stats.NewTimeSeries(vtime.Epoch, time.Hour)}
+		v.victims[a] = s
+	}
+	return s
+}
+
+// Amplifiers returns the internal hosts meeting the footnote-3 amplifier
+// thresholds, sorted by BAF descending — Table 5's rows.
+func (v *View) Amplifiers() []*AmpStats {
+	var out []*AmpStats
+	for _, a := range v.amps {
+		ratio := a.BAF()
+		if a.PayloadOut >= AmplifierMinBytes && ratio > AmplifierMinRatio {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].BAF() != out[j].BAF() {
+			return out[i].BAF() > out[j].BAF()
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Victims returns external hosts meeting the footnote-3 victim thresholds,
+// sorted by payload received descending — Table 6 and Figure 13's rows.
+func (v *View) Victims() []*VictimStats {
+	var out []*VictimStats
+	for _, s := range v.victims {
+		if s.PayloadIn >= VictimMinBytes &&
+			(s.TriggerOut == 0 || s.BAF() >= VictimMinRatio) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PayloadIn != out[j].PayloadIn {
+			return out[i].PayloadIn > out[j].PayloadIn
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Scanners returns external probing sources sorted by address.
+func (v *View) Scanners() []*ScannerStats {
+	out := make([]*ScannerStats, 0, len(v.scanners))
+	for _, s := range v.scanners {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// VictimSet returns all victim addresses (unthresholded victims excluded).
+func (v *View) VictimSet() netaddr.Set {
+	s := netaddr.NewSet(len(v.victims))
+	for _, vs := range v.Victims() {
+		s.Add(vs.Addr)
+	}
+	return s
+}
+
+// ScannerSet returns all scanner addresses.
+func (v *View) ScannerSet() netaddr.Set {
+	s := netaddr.NewSet(len(v.scanners))
+	for a := range v.scanners {
+		s.Add(a)
+	}
+	return s
+}
+
+// OwnerASN returns the origin AS and country of an external address via the
+// registry — Table 6's ASN/Country columns.
+func (v *View) OwnerASN(a netaddr.Addr) (asn uint32, country string) {
+	as := v.db.OwnerOf(a)
+	if as == nil {
+		return 0, "??"
+	}
+	return uint32(as.Number), string(as.Country)
+}
+
+// Billed95 computes the 95th-percentile billing level (bytes per hourly
+// interval) over [from, to). Comparing a pre-attack and an attack month
+// quantifies §7.1's "direct measurable costs".
+func (v *View) Billed95(from, to time.Time) float64 {
+	var samples []float64
+	for _, p := range v.billingBucket.Points() {
+		if !p.Time.Before(from) && p.Time.Before(to) {
+			samples = append(samples, p.Value)
+		}
+	}
+	return stats.Percentile95(samples)
+}
+
+// PairSeries returns the hourly on-wire volume an amplifier sent one victim
+// — the per-victim stacked lines of Figure 13 are sums of these.
+func (v *View) PairVolume(amp, victim netaddr.Addr) (payloadOut, wireOut, packets int64) {
+	a, ok := v.amps[amp]
+	if !ok {
+		return 0, 0, 0
+	}
+	p, ok := a.perVictim[victim]
+	if !ok {
+		return 0, 0, 0
+	}
+	return p.payloadOut, p.wireOut, p.packets
+}

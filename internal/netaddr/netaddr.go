@@ -1,0 +1,232 @@
+// Package netaddr implements compact IPv4 address and prefix types for the
+// simulated Internet.
+//
+// Addresses are uint32 values, prefixes are (base, bits) pairs, and sets are
+// sorted range lists — the representations a measurement system needs to hold
+// millions of amplifier and victim addresses without pointer overhead.
+package netaddr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netaddr: %q is not a dotted quad", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netaddr: %q is not a dotted quad", s)
+		}
+		a = a<<8 | uint32(n)
+	}
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr that panics on error, for constants in tests
+// and examples.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the four octets most-significant first.
+func (a Addr) Octets() [4]byte {
+	return [4]byte{byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)}
+}
+
+// Slash24 returns the address's /24 network base — the aggregation level of
+// the paper's Figure 3 and Table 1 "Blocks are /24" analyses.
+func (a Addr) Slash24() Prefix { return Prefix{Base: a &^ 0xff, Bits: 24} }
+
+// Prefix is an IPv4 CIDR block. Base must have its host bits zero; the
+// constructors enforce this.
+type Prefix struct {
+	Base Addr
+	Bits int
+}
+
+// NewPrefix returns the prefix containing addr with the given mask length,
+// zeroing host bits. Bits outside [0, 32] panics.
+func NewPrefix(addr Addr, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("netaddr: invalid prefix length %d", bits))
+	}
+	return Prefix{Base: addr & maskFor(bits), Bits: bits}
+}
+
+func maskFor(bits int) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - bits))
+}
+
+// ParsePrefix parses "a.b.c.d/n" CIDR notation. Host bits set in the address
+// part are an error, matching the strictness of net/netip.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: %q has no /bits", s)
+	}
+	a, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: %q has invalid prefix length", s)
+	}
+	p := Prefix{Base: a, Bits: bits}
+	if a&^maskFor(bits) != 0 {
+		return Prefix{}, fmt.Errorf("netaddr: %q has host bits set", s)
+	}
+	return p, nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Base, p.Bits) }
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool { return a&maskFor(p.Bits) == p.Base }
+
+// NumAddrs returns the number of addresses the prefix covers.
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.Bits) }
+
+// First returns the first address of the prefix.
+func (p Prefix) First() Addr { return p.Base }
+
+// Last returns the last address of the prefix.
+func (p Prefix) Last() Addr { return p.Base + Addr(p.NumAddrs()-1) }
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q.Base) || q.Contains(p.Base)
+}
+
+// Compare orders prefixes by base address, then by length (shorter first).
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.Base < q.Base:
+		return -1
+	case p.Base > q.Base:
+		return 1
+	case p.Bits < q.Bits:
+		return -1
+	case p.Bits > q.Bits:
+		return 1
+	}
+	return 0
+}
+
+// Nth returns the i'th address inside the prefix. Out-of-range panics.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.NumAddrs() {
+		panic(fmt.Sprintf("netaddr: index %d out of range for %s", i, p))
+	}
+	return p.Base + Addr(i)
+}
+
+// Subdivide splits the prefix into sub-prefixes of the given longer length.
+// It panics if bits is shorter than the prefix's own length.
+func (p Prefix) Subdivide(bits int) []Prefix {
+	if bits < p.Bits || bits > 32 {
+		panic(fmt.Sprintf("netaddr: cannot subdivide %s into /%d", p, bits))
+	}
+	n := 1 << (bits - p.Bits)
+	out := make([]Prefix, n)
+	step := Addr(1) << (32 - bits)
+	for i := 0; i < n; i++ {
+		out[i] = Prefix{Base: p.Base + Addr(i)*step, Bits: bits}
+	}
+	return out
+}
+
+// Set is a mutable set of addresses, stored as a map for O(1) membership.
+// For the million-entry amplifier pools the 8-byte keys keep this compact.
+type Set map[Addr]struct{}
+
+// NewSet returns an empty set with capacity hint n.
+func NewSet(n int) Set { return make(Set, n) }
+
+// Add inserts addr.
+func (s Set) Add(a Addr) { s[a] = struct{}{} }
+
+// Has reports membership.
+func (s Set) Has(a Addr) bool { _, ok := s[a]; return ok }
+
+// Remove deletes addr if present.
+func (s Set) Remove(a Addr) { delete(s, a) }
+
+// Len returns the cardinality.
+func (s Set) Len() int { return len(s) }
+
+// AddAll inserts every element of t.
+func (s Set) AddAll(t Set) {
+	for a := range t {
+		s[a] = struct{}{}
+	}
+}
+
+// IntersectCount returns |s ∩ t| without materialising the intersection —
+// the operation behind the paper's §6.2 monlist×DNS pool overlap.
+func (s Set) IntersectCount(t Set) int {
+	small, large := s, t
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	n := 0
+	for a := range small {
+		if large.Has(a) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sorted returns the elements in ascending order.
+func (s Set) Sorted() []Addr {
+	out := make([]Addr, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountDistinct24s returns the number of distinct /24 networks covered by
+// the set — the Figure 3 "/24 nets" aggregation.
+func (s Set) CountDistinct24s() int {
+	seen := make(map[Addr]struct{}, len(s)/4+1)
+	for a := range s {
+		seen[a&^0xff] = struct{}{}
+	}
+	return len(seen)
+}

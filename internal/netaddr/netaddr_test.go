@@ -1,0 +1,243 @@
+package netaddr
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xffffffff, true},
+		{"192.168.1.1", 0xc0a80101, true},
+		{"10.0.0.1", 0x0a000001, true},
+		{"256.0.0.1", 0, false},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"01.2.3.4", 0, false}, // leading zero rejected, like net/netip
+		{"a.b.c.d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseAddr(%q) err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseAddr(%q) = %v, want %v", c.in, uint32(got), uint32(c.want))
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOctets(t *testing.T) {
+	a := MustParseAddr("1.2.3.4")
+	if o := a.Octets(); o != [4]byte{1, 2, 3, 4} {
+		t.Fatalf("Octets = %v", o)
+	}
+}
+
+func TestSlash24(t *testing.T) {
+	a := MustParseAddr("198.51.100.77")
+	want := MustParsePrefix("198.51.100.0/24")
+	if a.Slash24() != want {
+		t.Fatalf("Slash24 = %v, want %v", a.Slash24(), want)
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.32.0.0/11")
+	if p.Bits != 11 || p.Base != MustParseAddr("10.32.0.0") {
+		t.Fatalf("bad parse: %+v", p)
+	}
+	if _, err := ParsePrefix("10.32.0.1/11"); err == nil {
+		t.Fatal("host bits set should be rejected")
+	}
+	if _, err := ParsePrefix("10.0.0.0/33"); err == nil {
+		t.Fatal("/33 should be rejected")
+	}
+	if _, err := ParsePrefix("10.0.0.0"); err == nil {
+		t.Fatal("missing /bits should be rejected")
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("192.0.2.0/24")
+	if !p.Contains(MustParseAddr("192.0.2.255")) || !p.Contains(MustParseAddr("192.0.2.0")) {
+		t.Fatal("prefix must contain its own range ends")
+	}
+	if p.Contains(MustParseAddr("192.0.3.0")) {
+		t.Fatal("prefix contains address outside range")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.255.255.255")) {
+		t.Fatal("/0 must contain everything")
+	}
+}
+
+func TestPrefixFirstLastNum(t *testing.T) {
+	p := MustParsePrefix("203.0.113.0/24")
+	if p.NumAddrs() != 256 {
+		t.Fatalf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.First() != MustParseAddr("203.0.113.0") || p.Last() != MustParseAddr("203.0.113.255") {
+		t.Fatalf("First/Last = %v/%v", p.First(), p.Last())
+	}
+	if p.Nth(255) != p.Last() {
+		t.Fatal("Nth(255) != Last")
+	}
+}
+
+func TestPrefixNthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth out of range did not panic")
+		}
+	}()
+	MustParsePrefix("10.0.0.0/24").Nth(256)
+}
+
+func TestSubdivide(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/22")
+	subs := p.Subdivide(24)
+	if len(subs) != 4 {
+		t.Fatalf("got %d /24s, want 4", len(subs))
+	}
+	for i, s := range subs {
+		if s.Bits != 24 {
+			t.Fatalf("sub %d has bits %d", i, s.Bits)
+		}
+		if !p.Contains(s.Base) {
+			t.Fatalf("sub %v escapes parent %v", s, p)
+		}
+	}
+	if subs[3].Base != MustParseAddr("10.0.3.0") {
+		t.Fatalf("last sub = %v", subs[3])
+	}
+}
+
+func TestSubdivideProperty(t *testing.T) {
+	// Every address of the parent appears in exactly one subdivision.
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewPCG(uint64(seed), 1))
+		bits := 8 + r.IntN(16)
+		p := NewPrefix(Addr(r.Uint32()), bits)
+		subBits := bits + r.IntN(4)
+		subs := p.Subdivide(subBits)
+		a := p.Nth(uint64(r.Int64N(int64(p.NumAddrs()))))
+		hits := 0
+		for _, s := range subs {
+			if s.Contains(a) {
+				hits++
+			}
+		}
+		return hits == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.5.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("nested prefixes must overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint prefixes must not overlap")
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.0.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 {
+		t.Fatal("shorter prefix must sort first at same base")
+	}
+	if a.Compare(c) >= 0 || a.Compare(a) != 0 {
+		t.Fatal("base ordering broken")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(0)
+	a := MustParseAddr("192.0.2.1")
+	if s.Has(a) || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(a)
+	s.Add(a)
+	if !s.Has(a) || s.Len() != 1 {
+		t.Fatal("add/idempotence broken")
+	}
+	s.Remove(a)
+	if s.Has(a) || s.Len() != 0 {
+		t.Fatal("remove broken")
+	}
+}
+
+func TestSetIntersectCount(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	for i := 0; i < 100; i++ {
+		a.Add(Addr(i))
+	}
+	for i := 50; i < 200; i++ {
+		b.Add(Addr(i))
+	}
+	if got := a.IntersectCount(b); got != 50 {
+		t.Fatalf("IntersectCount = %d, want 50", got)
+	}
+	if got := b.IntersectCount(a); got != 50 {
+		t.Fatal("IntersectCount not symmetric")
+	}
+}
+
+func TestSetSortedAndDistinct24s(t *testing.T) {
+	s := NewSet(0)
+	s.Add(MustParseAddr("10.0.0.9"))
+	s.Add(MustParseAddr("10.0.0.1"))
+	s.Add(MustParseAddr("10.0.1.1"))
+	sorted := s.Sorted()
+	if len(sorted) != 3 || sorted[0] != MustParseAddr("10.0.0.1") || sorted[2] != MustParseAddr("10.0.1.1") {
+		t.Fatalf("Sorted = %v", sorted)
+	}
+	if n := s.CountDistinct24s(); n != 2 {
+		t.Fatalf("CountDistinct24s = %d, want 2", n)
+	}
+}
+
+func TestSetAddAll(t *testing.T) {
+	a, b := NewSet(0), NewSet(0)
+	a.Add(1)
+	b.Add(2)
+	b.Add(1)
+	a.AddAll(b)
+	if a.Len() != 2 || !a.Has(2) {
+		t.Fatal("AddAll broken")
+	}
+}
+
+func TestNewPrefixMasksHostBits(t *testing.T) {
+	p := NewPrefix(MustParseAddr("10.1.2.3"), 16)
+	if p.Base != MustParseAddr("10.1.0.0") {
+		t.Fatalf("NewPrefix did not mask host bits: %v", p)
+	}
+}

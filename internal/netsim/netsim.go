@@ -1,0 +1,199 @@
+// Package netsim is the simulated Internet fabric: it delivers UDP/IPv4
+// datagrams between registered hosts under virtual time, enforcing (or, for
+// the ~quarter of networks without BCP 38/84, failing to enforce) source
+// address validation — the misconfiguration that makes reflection attacks
+// possible (§1).
+//
+// The fabric also hosts the measurement infrastructure: taps observe every
+// packet (the darknet telescope, the ISP flow collectors, the global
+// telemetry aggregator are all taps), and packets destined to unregistered
+// addresses simply vanish after the taps have seen them — which is exactly
+// what a darknet is.
+package netsim
+
+import (
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/vtime"
+)
+
+// Host receives datagrams addressed to a registered address.
+type Host interface {
+	// HandlePacket is invoked at the packet's (virtual) arrival time. The
+	// datagram's TTL has already been decremented by the path length.
+	HandlePacket(net *Network, dg *packet.Datagram, now time.Time)
+}
+
+// HostFunc adapts a function to the Host interface.
+type HostFunc func(net *Network, dg *packet.Datagram, now time.Time)
+
+// HandlePacket implements Host.
+func (f HostFunc) HandlePacket(net *Network, dg *packet.Datagram, now time.Time) {
+	f(net, dg, now)
+}
+
+// Tap observes every packet traversing the fabric (after TTL decrement,
+// before delivery). Taps must not mutate the datagram.
+type Tap interface {
+	Observe(dg *packet.Datagram, now time.Time)
+}
+
+// SpoofPolicy reports whether a host at origin may emit a packet claiming
+// the given source address. Networks deploying BCP 38/84 return false for
+// any src outside their own space.
+type SpoofPolicy func(origin, claimed netaddr.Addr) bool
+
+// Stats counts fabric activity. All counters honour the Rep batching
+// multiplier: one datagram with Rep = n counts as n packets.
+type Stats struct {
+	Sent         int64 // packets accepted from senders
+	Delivered    int64 // packets handed to a registered host
+	Dark         int64 // packets to unregistered addresses (incl. darknet)
+	DroppedSpoof int64 // spoofed packets blocked by BCP38 at the source
+	BytesOnWire  int64 // total on-wire bytes of accepted packets
+}
+
+// Network is the fabric. It is single-threaded and driven entirely by the
+// scheduler, keeping the simulation deterministic.
+type Network struct {
+	sched  *vtime.Scheduler
+	policy SpoofPolicy
+	hosts  map[netaddr.Addr]Host
+	taps   []Tap
+	stats  Stats
+}
+
+// New builds a fabric on the given scheduler. A nil policy permits all
+// spoofing (a fully BCP38-free Internet).
+func New(sched *vtime.Scheduler, policy SpoofPolicy) *Network {
+	if policy == nil {
+		policy = func(_, _ netaddr.Addr) bool { return true }
+	}
+	return &Network{sched: sched, policy: policy, hosts: make(map[netaddr.Addr]Host)}
+}
+
+// Scheduler returns the underlying scheduler, letting hosts schedule their
+// own timed behaviour (retransmissions, the mega-amplifier replay loop).
+func (n *Network) Scheduler() *vtime.Scheduler { return n.sched }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.sched.Clock().Now() }
+
+// Register binds a host to an address. Registering over an existing binding
+// replaces it (DHCP churn re-binds residential amplifiers this way).
+func (n *Network) Register(a netaddr.Addr, h Host) { n.hosts[a] = h }
+
+// Unregister removes a binding.
+func (n *Network) Unregister(a netaddr.Addr) { delete(n.hosts, a) }
+
+// IsRegistered reports whether an address has a live host.
+func (n *Network) IsRegistered(a netaddr.Addr) bool {
+	_, ok := n.hosts[a]
+	return ok
+}
+
+// NumHosts returns the number of registered hosts.
+func (n *Network) NumHosts() int { return len(n.hosts) }
+
+// AddTap attaches an observer to the fabric.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// Stats returns a snapshot of the fabric counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// pairHash mixes a (src, dst) pair into a deterministic 64-bit value used to
+// derive per-path properties without consuming randomness.
+func pairHash(a, b netaddr.Addr) uint64 {
+	x := uint64(a)<<32 | uint64(b)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// PathHops returns the deterministic hop count between two addresses,
+// between 8 and 23 — the range that turns a Linux TTL of 64 into the ~54
+// and a Windows TTL of 128 into the ~109 observed at the CSU tap (§7.2).
+func PathHops(src, dst netaddr.Addr) int {
+	return 8 + int(pairHash(src, dst)%16)
+}
+
+// PathLatency returns the deterministic one-way latency between two
+// addresses, between 10ms and 240ms.
+func PathLatency(src, dst netaddr.Addr) time.Duration {
+	return 10*time.Millisecond + time.Duration(pairHash(dst, src)%230)*time.Millisecond
+}
+
+// SendFrom injects a datagram into the fabric from a host whose true
+// address is origin. If the datagram's IP source differs from origin, the
+// spoof policy decides whether the packet leaves the source network at all.
+// It returns false when the packet was dropped at the source.
+func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	if dg.IP.Src != origin && !n.policy(origin, dg.IP.Src) {
+		n.stats.DroppedSpoof += rep
+		return false
+	}
+	n.stats.Sent += rep
+	n.stats.BytesOnWire += int64(dg.OnWire()) * rep
+
+	// The path is computed from the true origin: TTL decay reveals the
+	// sender's distance regardless of the claimed source — the very signal
+	// the §7.2 TTL analysis exploits.
+	hops := PathHops(origin, dg.IP.Dst)
+	if int(dg.IP.TTL) <= hops {
+		return false // expired in transit
+	}
+	delivered := *dg // shallow copy; payload sharing is fine, fabric never mutates it
+	delivered.IP.TTL -= uint8(hops)
+	delivered.Rep = rep
+
+	for _, t := range n.taps {
+		t.Observe(&delivered, n.Now())
+	}
+
+	dst := dg.IP.Dst
+	latency := PathLatency(origin, dst)
+	n.sched.After(latency, func(now time.Time) {
+		h, ok := n.hosts[dst]
+		if !ok {
+			n.stats.Dark += rep
+			return
+		}
+		n.stats.Delivered += rep
+		h.HandlePacket(n, &delivered, now)
+	})
+	return true
+}
+
+// SendUDP is a convenience wrapper building and sending a datagram whose IP
+// source is the true origin (no spoofing), with the sender's OS default TTL.
+func (n *Network) SendUDP(origin netaddr.Addr, srcPort uint16, dst netaddr.Addr, dstPort uint16, ttl uint8, payload []byte) bool {
+	dg := packet.NewDatagram(origin, srcPort, dst, dstPort, payload)
+	dg.IP.TTL = ttl
+	return n.SendFrom(origin, dg)
+}
+
+// SendSpoofed builds and sends a datagram whose IP source is forged to
+// victim — the attacker→amplifier trigger packet of a reflection attack.
+func (n *Network) SendSpoofed(origin netaddr.Addr, victim netaddr.Addr, victimPort uint16, dst netaddr.Addr, dstPort uint16, ttl uint8, payload []byte) bool {
+	dg := packet.NewDatagram(victim, victimPort, dst, dstPort, payload)
+	dg.IP.TTL = ttl
+	return n.SendFrom(origin, dg)
+}
+
+// OS default initial TTLs — the fingerprints behind the paper's observation
+// that scanners look like Linux (TTL mode 54) while attack spoofers look
+// like Windows bots (TTL mode 109).
+const (
+	TTLLinux   = 64
+	TTLWindows = 128
+	TTLCisco   = 255
+)

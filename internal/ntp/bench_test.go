@@ -1,0 +1,57 @@
+package ntp
+
+import (
+	"testing"
+
+	"ntpddos/internal/netaddr"
+)
+
+func benchEntries(n int) []MonEntry {
+	out := make([]MonEntry, n)
+	for i := range out {
+		out[i] = MonEntry{Addr: netaddr.Addr(i), Count: uint32(i), Mode: 7, Port: 80}
+	}
+	return out
+}
+
+func BenchmarkBuildMonlistResponseFull(b *testing.B) {
+	entries := benchEntries(MaxMonlistEntries)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := BuildMonlistResponse(entries, ImplXNTPD, ReqMonGetList1); len(got) != 100 {
+			b.Fatal("bad fragment count")
+		}
+	}
+}
+
+func BenchmarkBuildMonlistResponseTypical(b *testing.B) {
+	entries := benchEntries(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildMonlistResponse(entries, ImplXNTPD, ReqMonGetList1)
+	}
+}
+
+func BenchmarkParseMonlistResponse(b *testing.B) {
+	fragments := BuildMonlistResponse(benchEntries(MaxMonlistEntries), ImplXNTPD, ReqMonGetList1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fragments {
+			if _, _, err := ParseMonlistResponse(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkHeaderRoundTrip(b *testing.B) {
+	h := Header{Version: 4, Mode: ModeClient, Stratum: 2}
+	raw := h.AppendTo(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var g Header
+		if err := g.DecodeFromBytes(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package ntp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mode 6 (ntpq control protocol) constants, following RFC 1305 appendix B.
+const (
+	// OpReadVar is the read-variables opcode — what the ONP "version" scans
+	// send (§3.3): a mode 6 readvar elicits the system variable list,
+	// including version, system/OS and stratum strings.
+	OpReadVar = 2
+
+	// Mode6HeaderLen is the fixed control header size.
+	Mode6HeaderLen = 12
+
+	// MaxControlData is the data budget per control fragment; ntpd packs at
+	// most 468 bytes of variable text into one fragment.
+	MaxControlData = 468
+)
+
+// Mode6 is a parsed control-mode message (one fragment).
+type Mode6 struct {
+	Response bool
+	Error    bool
+	More     bool
+	OpCode   uint8
+	Sequence uint16
+	Status   uint16
+	AssocID  uint16
+	Offset   uint16
+	Count    uint16
+	Data     []byte
+}
+
+// AppendTo serializes the message, padding data to a 32-bit boundary as the
+// protocol requires.
+func (m *Mode6) AppendTo(b []byte) []byte {
+	b = append(b, byte(VersionNumber<<3|ModeControl))
+	b1 := m.OpCode & 0x1f
+	if m.Response {
+		b1 |= 0x80
+	}
+	if m.Error {
+		b1 |= 0x40
+	}
+	if m.More {
+		b1 |= 0x20
+	}
+	b = append(b, b1)
+	b = binary.BigEndian.AppendUint16(b, m.Sequence)
+	b = binary.BigEndian.AppendUint16(b, m.Status)
+	b = binary.BigEndian.AppendUint16(b, m.AssocID)
+	b = binary.BigEndian.AppendUint16(b, m.Offset)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Data)))
+	b = append(b, m.Data...)
+	for pad := (4 - len(m.Data)%4) % 4; pad > 0; pad-- {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// DecodeMode6 parses a control-mode message.
+func DecodeMode6(payload []byte) (*Mode6, error) {
+	if len(payload) < Mode6HeaderLen {
+		return nil, ErrTruncated
+	}
+	if payload[0]&0x07 != ModeControl {
+		return nil, ErrBadMode
+	}
+	m := &Mode6{
+		Response: payload[1]&0x80 != 0,
+		Error:    payload[1]&0x40 != 0,
+		More:     payload[1]&0x20 != 0,
+		OpCode:   payload[1] & 0x1f,
+		Sequence: binary.BigEndian.Uint16(payload[2:]),
+		Status:   binary.BigEndian.Uint16(payload[4:]),
+		AssocID:  binary.BigEndian.Uint16(payload[6:]),
+		Offset:   binary.BigEndian.Uint16(payload[8:]),
+	}
+	m.Count = binary.BigEndian.Uint16(payload[10:])
+	if int(m.Count) > len(payload)-Mode6HeaderLen {
+		return nil, fmt.Errorf("%w: count %d exceeds %d data bytes",
+			ErrTruncated, m.Count, len(payload)-Mode6HeaderLen)
+	}
+	m.Data = payload[Mode6HeaderLen : Mode6HeaderLen+int(m.Count)]
+	return m, nil
+}
+
+// NewReadVarRequest builds the 12-byte mode 6 readvar probe ("ntpq -c rv"),
+// the packet behind the version amplifier pool of §3.3.
+func NewReadVarRequest(seq uint16) []byte {
+	m := Mode6{OpCode: OpReadVar, Sequence: seq}
+	return m.AppendTo(make([]byte, 0, Mode6HeaderLen))
+}
+
+// SystemVariables is the daemon state a readvar response serialises. The
+// paper's Table 2 aggregates the OS/system strings; §3.3 aggregates stratum
+// (finding 19% at stratum 16) and the version compile year.
+type SystemVariables struct {
+	Version   string // e.g. "ntpd 4.2.6p5@1.2349-o Tue Dec  1 09:12:00 UTC 2011 (1)"
+	Processor string
+	System    string // e.g. "Linux/3.2.0", "cisco", "JUNOS12.3R3.4"
+	Stratum   int
+	RefID     string
+}
+
+// Encode renders the canonical comma-separated variable list.
+func (v SystemVariables) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%q, processor=%q, system=%q, stratum=%d, refid=%s",
+		v.Version, v.Processor, v.System, v.Stratum, v.RefID)
+	return b.String()
+}
+
+// ParseSystemVariables parses the variable list back. Unknown keys are
+// ignored; missing keys leave zero values, as real responses vary by
+// implementation.
+func ParseSystemVariables(s string) SystemVariables {
+	var v SystemVariables
+	for _, field := range splitVars(s) {
+		eq := strings.IndexByte(field, '=')
+		if eq < 0 {
+			continue
+		}
+		key := strings.TrimSpace(field[:eq])
+		val := strings.TrimSpace(field[eq+1:])
+		val = strings.Trim(val, `"`)
+		switch key {
+		case "version":
+			v.Version = val
+		case "processor":
+			v.Processor = val
+		case "system":
+			v.System = val
+		case "stratum":
+			fmt.Sscanf(val, "%d", &v.Stratum)
+		case "refid":
+			v.RefID = val
+		}
+	}
+	return v
+}
+
+// splitVars splits on commas not inside quotes.
+func splitVars(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// BuildReadVarResponse fragments the variable text into mode 6 response
+// packets with correct offset/count/More bookkeeping.
+func BuildReadVarResponse(seq uint16, vars string) [][]byte {
+	data := []byte(vars)
+	if len(data) == 0 {
+		data = []byte{}
+	}
+	var out [][]byte
+	for off := 0; ; off += MaxControlData {
+		end := off + MaxControlData
+		if end > len(data) {
+			end = len(data)
+		}
+		m := Mode6{
+			Response: true,
+			More:     end < len(data),
+			OpCode:   OpReadVar,
+			Sequence: seq,
+			Offset:   uint16(off),
+			Data:     data[off:end],
+		}
+		out = append(out, m.AppendTo(nil))
+		if end == len(data) {
+			break
+		}
+	}
+	return out
+}
+
+// ReassembleMode6 reconstructs the variable text from response fragments,
+// which may arrive in any order. It returns an error on gaps or overlaps —
+// a lossy reassembly would corrupt the Table 2 string statistics silently.
+func ReassembleMode6(fragments []*Mode6) (string, error) {
+	if len(fragments) == 0 {
+		return "", fmt.Errorf("ntp: no fragments")
+	}
+	sorted := make([]*Mode6, len(fragments))
+	copy(sorted, fragments)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	var b strings.Builder
+	expect := 0
+	for i, f := range sorted {
+		if int(f.Offset) != expect {
+			return "", fmt.Errorf("ntp: fragment gap at offset %d (expected %d)", f.Offset, expect)
+		}
+		if f.More != (i < len(sorted)-1) {
+			return "", fmt.Errorf("ntp: inconsistent More flag at offset %d", f.Offset)
+		}
+		b.Write(f.Data)
+		expect += len(f.Data)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,158 @@
+package ntp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadVarRequestShape(t *testing.T) {
+	raw := NewReadVarRequest(7)
+	if len(raw) != Mode6HeaderLen {
+		t.Fatalf("readvar request = %d bytes, want %d", len(raw), Mode6HeaderLen)
+	}
+	m, err := DecodeMode6(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Response || m.OpCode != OpReadVar || m.Sequence != 7 {
+		t.Fatalf("request decoded as %+v", m)
+	}
+}
+
+func TestMode6RoundTrip(t *testing.T) {
+	m := Mode6{
+		Response: true, Error: false, More: true, OpCode: OpReadVar,
+		Sequence: 42, Status: 0x0615, AssocID: 3, Offset: 468,
+		Data: []byte("version=\"x\""),
+	}
+	raw := m.AppendTo(nil)
+	if len(raw)%4 != 0 {
+		t.Fatalf("encoded control message not 32-bit padded: %d bytes", len(raw))
+	}
+	got, err := DecodeMode6(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Response != m.Response || got.More != m.More || got.OpCode != m.OpCode ||
+		got.Sequence != m.Sequence || got.Status != m.Status ||
+		got.Offset != m.Offset || string(got.Data) != string(m.Data) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestDecodeMode6RejectsWrongMode(t *testing.T) {
+	raw := []byte{0x17, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := DecodeMode6(raw); err == nil {
+		t.Fatal("mode 7 packet decoded as mode 6")
+	}
+}
+
+func TestDecodeMode6RejectsBadCount(t *testing.T) {
+	m := Mode6{Response: true, Data: []byte("abcd")}
+	raw := m.AppendTo(nil)
+	raw[11] = 200 // count larger than remaining data
+	if _, err := DecodeMode6(raw); err == nil {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+func TestSystemVariablesRoundTrip(t *testing.T) {
+	v := SystemVariables{
+		Version:   "ntpd 4.2.6p5@1.2349-o Tue Dec  1 09:12:00 UTC 2011 (1)",
+		Processor: "x86_64",
+		System:    "Linux/3.2.0-4-amd64",
+		Stratum:   3,
+		RefID:     "129.6.15.28",
+	}
+	got := ParseSystemVariables(v.Encode())
+	if got != v {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, v)
+	}
+}
+
+func TestParseSystemVariablesQuotedCommas(t *testing.T) {
+	// Version strings contain commas inside quotes; the splitter must not
+	// break on them.
+	s := `version="ntpd 4.2.4p8, special build", system="cisco", stratum=16, refid=INIT`
+	v := ParseSystemVariables(s)
+	if v.Version != "ntpd 4.2.4p8, special build" {
+		t.Fatalf("version = %q", v.Version)
+	}
+	if v.System != "cisco" || v.Stratum != 16 {
+		t.Fatalf("parsed %+v", v)
+	}
+}
+
+func TestParseSystemVariablesTolerant(t *testing.T) {
+	v := ParseSystemVariables("junk, =, noequals, stratum=2")
+	if v.Stratum != 2 {
+		t.Fatalf("stratum = %d", v.Stratum)
+	}
+}
+
+func TestReadVarResponseSingleFragment(t *testing.T) {
+	vars := SystemVariables{Version: "ntpd 4.2.6", System: "Unix", Stratum: 2, RefID: "GPS"}.Encode()
+	packets := BuildReadVarResponse(9, vars)
+	if len(packets) != 1 {
+		t.Fatalf("short vars -> %d fragments", len(packets))
+	}
+	m, err := DecodeMode6(packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.More || string(m.Data) != vars || m.Sequence != 9 {
+		t.Fatalf("fragment = %+v", m)
+	}
+}
+
+func TestReadVarResponseFragmentsAndReassembles(t *testing.T) {
+	long := strings.Repeat("peer=10.0.0.1 flash=0 ", 60) // > 468 bytes
+	packets := BuildReadVarResponse(1, long)
+	if len(packets) < 2 {
+		t.Fatalf("long vars -> %d fragments, want >= 2", len(packets))
+	}
+	var frags []*Mode6
+	for _, p := range packets {
+		m, err := DecodeMode6(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags = append(frags, m)
+	}
+	// Reverse order on purpose: reassembly must sort by offset.
+	for i, j := 0, len(frags)-1; i < j; i, j = i+1, j-1 {
+		frags[i], frags[j] = frags[j], frags[i]
+	}
+	got, err := ReassembleMode6(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != long {
+		t.Fatalf("reassembly corrupted text (%d vs %d bytes)", len(got), len(long))
+	}
+}
+
+func TestReassembleDetectsGap(t *testing.T) {
+	long := strings.Repeat("x", 3*MaxControlData)
+	packets := BuildReadVarResponse(1, long)
+	var frags []*Mode6
+	for i, p := range packets {
+		if i == 1 {
+			continue // drop the middle fragment
+		}
+		m, err := DecodeMode6(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags = append(frags, m)
+	}
+	if _, err := ReassembleMode6(frags); err == nil {
+		t.Fatal("gap not detected")
+	}
+}
+
+func TestReassembleEmpty(t *testing.T) {
+	if _, err := ReassembleMode6(nil); err == nil {
+		t.Fatal("empty fragment list accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package ntp
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"ntpddos/internal/netaddr"
+)
+
+func TestMonlistRequestIsCanonical(t *testing.T) {
+	// The attack/scan probe everyone sends: 17 00 03 2a + 4 zero bytes.
+	raw := NewMonlistRequest(ImplXNTPD, ReqMonGetList1)
+	want := []byte{0x17, 0x00, 0x03, 0x2a, 0x00, 0x00, 0x00, 0x00}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("monlist probe = %x, want %x", raw, want)
+	}
+}
+
+func TestMode7RoundTrip(t *testing.T) {
+	m := Mode7{
+		Response: true, More: true, Sequence: 99,
+		Implementation: ImplXNTPD, Request: ReqMonGetList1,
+		Err: InfoErrNoData, NItems: 0, ItemSize: 0,
+	}
+	raw := m.AppendTo(nil)
+	got, err := DecodeMode7(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Response != m.Response || got.More != m.More || got.Sequence != m.Sequence ||
+		got.Implementation != m.Implementation || got.Request != m.Request || got.Err != m.Err {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+}
+
+func TestDecodeMode7RejectsWrongMode(t *testing.T) {
+	raw := []byte{0x16, 0, 0, 0, 0, 0, 0, 0} // mode 6, not 7
+	if _, err := DecodeMode7(raw); err == nil {
+		t.Fatal("mode 6 packet decoded as mode 7")
+	}
+}
+
+func TestDecodeMode7RejectsOverflowItems(t *testing.T) {
+	m := Mode7{Response: true, NItems: 100, ItemSize: 72}
+	raw := m.AppendTo(nil) // no data at all
+	if _, err := DecodeMode7(raw); err == nil {
+		t.Fatal("item count exceeding data not rejected")
+	}
+}
+
+func TestEntriesPerPacket(t *testing.T) {
+	if n := EntriesPerPacket(MonEntrySizeV1); n != 6 {
+		t.Fatalf("GETLIST_1 entries per packet = %d, want 6", n)
+	}
+	if n := EntriesPerPacket(MonEntrySizeLegacy); n != 20 {
+		t.Fatalf("legacy entries per packet = %d, want 20", n)
+	}
+}
+
+func randomEntries(r *rand.Rand, n int) []MonEntry {
+	entries := make([]MonEntry, n)
+	for i := range entries {
+		entries[i] = MonEntry{
+			Addr:        netaddr.Addr(r.Uint32()),
+			DAddr:       netaddr.Addr(r.Uint32()),
+			Count:       r.Uint32(),
+			Mode:        uint8(r.IntN(8)),
+			Version:     uint8(2 + r.IntN(3)),
+			Port:        uint16(r.Uint32()),
+			AvgInterval: r.Uint32(),
+			LastSeen:    r.Uint32(),
+			Restr:       r.Uint32(),
+		}
+	}
+	return entries
+}
+
+func reassemble(t *testing.T, packets [][]byte) []MonEntry {
+	t.Helper()
+	var all []MonEntry
+	for i, p := range packets {
+		m, entries, err := ParseMonlistResponse(p)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		wantMore := i < len(packets)-1
+		if m.More != wantMore {
+			t.Fatalf("packet %d More = %v, want %v", i, m.More, wantMore)
+		}
+		all = append(all, entries...)
+	}
+	return all
+}
+
+func TestMonlistResponseRoundTripV1(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 5, 6, 7, 600} {
+		entries := randomEntries(r, n)
+		packets := BuildMonlistResponse(entries, ImplXNTPD, ReqMonGetList1)
+		wantPackets := (n + 5) / 6
+		if len(packets) != wantPackets {
+			t.Fatalf("%d entries -> %d packets, want %d", n, len(packets), wantPackets)
+		}
+		got := reassemble(t, packets)
+		if len(got) != n {
+			t.Fatalf("reassembled %d entries, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i] != entries[i] {
+				t.Fatalf("entry %d mismatch:\n got %+v\nwant %+v", i, got[i], entries[i])
+			}
+		}
+	}
+}
+
+func TestMonlistResponseRoundTripLegacy(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	entries := randomEntries(r, 45)
+	packets := BuildMonlistResponse(entries, ImplXNTPDOld, ReqMonGetList)
+	if len(packets) != 3 { // 20 + 20 + 5
+		t.Fatalf("45 legacy entries -> %d packets, want 3", len(packets))
+	}
+	got := reassemble(t, packets)
+	if len(got) != 45 {
+		t.Fatalf("reassembled %d entries", len(got))
+	}
+	for i := range got {
+		// The legacy format does not carry DAddr; everything else must match.
+		want := entries[i]
+		want.DAddr = 0
+		if got[i] != want {
+			t.Fatalf("entry %d mismatch:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestEmptyTableYieldsNoDataError(t *testing.T) {
+	packets := BuildMonlistResponse(nil, ImplXNTPD, ReqMonGetList1)
+	if len(packets) != 1 {
+		t.Fatalf("empty table -> %d packets", len(packets))
+	}
+	m, entries, err := ParseMonlistResponse(packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err != InfoErrNoData || len(entries) != 0 {
+		t.Fatalf("empty table response = err %d, %d entries", m.Err, len(entries))
+	}
+}
+
+func TestFullTableResponseSize(t *testing.T) {
+	// A primed 600-entry table must produce 100 fragments of 440 payload
+	// bytes (8 header + 6*72 items) — the packet arithmetic that makes
+	// monlist the paper's headline amplification vector.
+	r := rand.New(rand.NewPCG(5, 6))
+	packets := BuildMonlistResponse(randomEntries(r, MaxMonlistEntries), ImplXNTPD, ReqMonGetList1)
+	if len(packets) != 100 {
+		t.Fatalf("full table -> %d packets, want 100", len(packets))
+	}
+	for i, p := range packets {
+		if len(p) != Mode7HeaderLen+6*MonEntrySizeV1 {
+			t.Fatalf("fragment %d payload = %d bytes", i, len(p))
+		}
+	}
+}
+
+func TestParseMonlistRejectsRequest(t *testing.T) {
+	req := NewMonlistRequest(ImplXNTPD, ReqMonGetList1)
+	if _, _, err := ParseMonlistResponse(req); err == nil {
+		t.Fatal("request parsed as response")
+	}
+}
+
+func TestMonEntryRoundTripProperty(t *testing.T) {
+	f := func(addr, daddr, count, avgInt, lastSeen, restr uint32, port uint16, mode, version uint8) bool {
+		e := MonEntry{
+			Addr: netaddr.Addr(addr), DAddr: netaddr.Addr(daddr),
+			Count: count, Mode: mode & 7, Version: version,
+			Port: port, AvgInterval: avgInt, LastSeen: lastSeen, Restr: restr,
+		}
+		raw := e.appendV1(nil)
+		if len(raw) != MonEntrySizeV1 {
+			return false
+		}
+		got, err := decodeEntry(raw, MonEntrySizeV1)
+		return err == nil && got == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntryUnsupportedSize(t *testing.T) {
+	if _, err := decodeEntry(make([]byte, 100), 50); err == nil {
+		t.Fatal("unsupported item size accepted")
+	}
+}

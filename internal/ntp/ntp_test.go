@@ -1,0 +1,93 @@
+package ntp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		LeapIndicator: 3, Version: 4, Mode: ModeServer,
+		Stratum: 2, Poll: 6, Precision: -23,
+		RootDelay: 0x1234, RootDispersion: 0x5678, ReferenceID: 0xdeadbeef,
+		ReferenceTime: 0x1111111122222222, OriginTime: 0x3333333344444444,
+		ReceiveTime: 0x5555555566666666, TransmitTime: 0x7777777788888888,
+	}
+	raw := h.AppendTo(nil)
+	if len(raw) != HeaderLen {
+		t.Fatalf("encoded length %d, want %d", len(raw), HeaderLen)
+	}
+	var got Header
+	if err := got.DecodeFromBytes(raw); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHeaderTruncated(t *testing.T) {
+	var h Header
+	if err := h.DecodeFromBytes(make([]byte, 47)); err == nil {
+		t.Fatal("47-byte header decoded")
+	}
+}
+
+func TestModeExtraction(t *testing.T) {
+	cases := []struct {
+		payload []byte
+		mode    int
+		ok      bool
+	}{
+		{[]byte{0x17}, ModePrivate, true}, // the canonical monlist first byte
+		{[]byte{0x16}, ModeControl, true},
+		{[]byte{0x1b}, ModeClient, true},
+		{[]byte{0x1c}, ModeServer, true},
+		{nil, 0, false},
+	}
+	for _, c := range cases {
+		m, ok := Mode(c.payload)
+		if ok != c.ok || (ok && m != c.mode) {
+			t.Fatalf("Mode(%x) = %d/%v, want %d/%v", c.payload, m, ok, c.mode, c.ok)
+		}
+	}
+}
+
+func TestClientServerExchange(t *testing.T) {
+	now := time.Date(2014, 2, 11, 12, 0, 0, 500e6, time.UTC)
+	req := NewClientRequest(now)
+	if req.Mode != ModeClient {
+		t.Fatalf("client mode = %d", req.Mode)
+	}
+	rep := NewServerReply(req, 2, now.Add(30*time.Millisecond))
+	if rep.Mode != ModeServer || rep.Stratum != 2 {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if rep.OriginTime != req.TransmitTime {
+		t.Fatal("reply origin must echo request transmit timestamp")
+	}
+	if rep.LeapIndicator != 0 {
+		t.Fatal("synchronized server must not set alarm LI")
+	}
+}
+
+func TestUnsynchronizedServerSetsAlarm(t *testing.T) {
+	now := time.Date(2014, 2, 11, 12, 0, 0, 0, time.UTC)
+	rep := NewServerReply(NewClientRequest(now), StratumUnsynchronized, now)
+	if rep.LeapIndicator != 3 {
+		t.Fatalf("stratum-16 server LI = %d, want 3 (alarm)", rep.LeapIndicator)
+	}
+}
+
+func TestToNTPTime(t *testing.T) {
+	// 1970-01-01 is exactly Era seconds after the NTP epoch.
+	unix0 := time.Unix(0, 0).UTC()
+	if got := ToNTPTime(unix0) >> 32; got != Era {
+		t.Fatalf("NTP seconds at unix epoch = %d, want %d", got, Era)
+	}
+	// Half a second maps to half the fraction range.
+	half := ToNTPTime(time.Unix(0, 5e8)) & 0xffffffff
+	if half < 1<<31-1<<20 || half > 1<<31+1<<20 {
+		t.Fatalf("half-second fraction = %d", half)
+	}
+}

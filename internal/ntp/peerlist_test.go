@@ -1,0 +1,87 @@
+package ntp
+
+import (
+	"testing"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/packet"
+)
+
+func peers(n int) []PeerEntry {
+	out := make([]PeerEntry, n)
+	for i := range out {
+		out[i] = PeerEntry{Addr: netaddr.Addr(0x81060f00 + uint32(i)), Port: Port,
+			HMode: ModeClient, Flags: 0x01}
+	}
+	return out
+}
+
+func TestPeerListRoundTrip(t *testing.T) {
+	want := peers(5)
+	packets := BuildPeerListResponse(want, ImplXNTPD)
+	if len(packets) != 1 {
+		t.Fatalf("5 peers -> %d packets", len(packets))
+	}
+	m, got, err := ParsePeerListResponse(packets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Request != ReqPeerList || m.ItemSize != PeerEntrySize {
+		t.Fatalf("header %+v", m)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peer %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPeerListFragmentation(t *testing.T) {
+	// 8-byte items, 500-byte budget: 62 per packet.
+	packets := BuildPeerListResponse(peers(70), ImplXNTPD)
+	if len(packets) != 2 {
+		t.Fatalf("70 peers -> %d packets", len(packets))
+	}
+	var all []PeerEntry
+	for _, p := range packets {
+		_, es, err := ParsePeerListResponse(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, es...)
+	}
+	if len(all) != 70 {
+		t.Fatalf("reassembled %d peers", len(all))
+	}
+}
+
+func TestPeerListEmpty(t *testing.T) {
+	packets := BuildPeerListResponse(nil, ImplXNTPD)
+	m, es, err := ParsePeerListResponse(packets[0])
+	if err != nil || len(es) != 0 || m.Err != InfoErrNoData {
+		t.Fatalf("empty peer list: %v %d %d", err, len(es), m.Err)
+	}
+}
+
+func TestPeerListLowAmplification(t *testing.T) {
+	// The §3.1 claim: showpeers-style commands amplify far less than a
+	// primed monlist. A typical daemon has ~4 peers.
+	peersResp := BuildPeerListResponse(peers(4), ImplXNTPD)
+	var peerBytes int
+	for _, p := range peersResp {
+		peerBytes += packet.OnWireBytesForUDPPayload(len(p))
+	}
+	monResp := BuildMonlistResponse(make([]MonEntry, MaxMonlistEntries), ImplXNTPD, ReqMonGetList1)
+	var monBytes int
+	for _, p := range monResp {
+		monBytes += packet.OnWireBytesForUDPPayload(len(p))
+	}
+	peerBAF := float64(peerBytes) / float64(packet.MinOnWire)
+	monBAF := float64(monBytes) / float64(packet.MinOnWire)
+	if peerBAF > 2 {
+		t.Fatalf("peer-list BAF = %.1f, want ~1-2", peerBAF)
+	}
+	if monBAF < 100*peerBAF {
+		t.Fatalf("monlist BAF %.0f not >> peer BAF %.1f", monBAF, peerBAF)
+	}
+}

@@ -1,0 +1,473 @@
+// Package ntpd simulates the NTP daemon population the paper measures: time
+// servers that — depending on version and configuration — answer mode 7
+// monlist queries (the primary amplification vector), mode 6 readvar/version
+// queries (the §3.3 secondary vector), or only honest mode 3 time requests.
+//
+// The daemon keeps the real ntpd's MRU ("most recently used") monitor list:
+// the last 600 distinct client addresses with packet counts, modes, source
+// ports and timing — the data structure whose disclosure lets the paper (and
+// this reproduction) observe DDoS victims from the amplifiers themselves.
+//
+// A small number of daemons exhibit the §3.4 "mega amplifier" flaw: a
+// routing-loop-like retransmission that replays an updated monlist response
+// continuously, up to gigabytes per probe.
+package ntpd
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/netsim"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/packet"
+)
+
+// Config describes one simulated daemon.
+type Config struct {
+	Addr netaddr.Addr
+
+	// Stratum of the server; 16 means unsynchronized (§3.3 finds 19% of the
+	// population in this embarrassing state).
+	Stratum int
+
+	// Profile carries the system/OS/version identity reported via mode 6.
+	Profile Profile
+
+	// MonlistEnabled makes the daemon answer monlist queries — the defining
+	// property of an amplifier. Patching or `restrict noquery` clears it.
+	MonlistEnabled bool
+
+	// Mode6Enabled makes the daemon answer readvar (version) queries. This
+	// pool is ~40x larger than the monlist pool and barely shrinks (§3.3).
+	Mode6Enabled bool
+
+	// Implementation is the mode 7 implementation number this daemon
+	// accepts (ImplXNTPD or ImplXNTPDOld). The paper notes scanners send
+	// only one value, so daemons of the other implementation are missed.
+	Implementation uint8
+
+	// ReqCode selects the monlist flavour the daemon serves
+	// (ReqMonGetList1 with 72-byte items, or the legacy ReqMonGetList).
+	ReqCode uint8
+
+	// Peers are the daemon's upstream associations, disclosed by the mode 7
+	// peer-list command (the "showpeers" data §3.1 mentions as a lower-
+	// amplification alternative to monlist).
+	Peers []netaddr.Addr
+
+	// ExtraVarBytes pads the readvar response with additional system
+	// variables (peer lists, clock detail), matching the multi-hundred-byte
+	// to multi-kilobyte responses real daemons return (§3.3's version BAF
+	// quartiles come from this size spread).
+	ExtraVarBytes int
+
+	// MegaAmp enables the §3.4 replay flaw.
+	MegaAmp bool
+	// MegaRepeats is the total number of extra table replays a single query
+	// triggers (spread over MegaEvents scheduler events via Rep batching).
+	MegaRepeats int64
+	// MegaEvents caps how many real scheduler events carry the replays.
+	MegaEvents int
+	// MegaInterval is the spacing between replay events.
+	MegaInterval time.Duration
+}
+
+// Server is a simulated daemon. It implements netsim.Host.
+type Server struct {
+	cfg Config
+
+	// MRU monitor list: most-recent-first, capped at 600 entries.
+	mru   *list.List // of *mruEntry
+	index map[netaddr.Addr]*list.Element
+
+	// Counters for analysis convenience.
+	QueriesSeen int64
+	MonlistSent int64 // response packets emitted (Rep-weighted)
+	BytesSent   int64 // on-wire response bytes (Rep-weighted)
+	// megaUntil is the end of the current replay storm; queries arriving
+	// while a storm is in flight do not start another (but a later probe —
+	// e.g. next week's scan — re-triggers, as the paper observed for
+	// amplifiers misbehaving "more than one week in a row").
+	megaUntil time.Time
+
+	// mruGen counts table mutations; the response cache below reuses the
+	// encoded monlist fragments for high-rate (batched) triggers, where a
+	// slightly stale table is indistinguishable on the wire. Probes and
+	// scans (Rep == 1) always get a freshly built table.
+	mruGen     int64
+	cacheReq   uint8
+	cacheGen   int64
+	cacheAt    time.Time
+	cacheFrags [][]byte
+}
+
+type mruEntry struct {
+	addr      netaddr.Addr
+	port      uint16
+	mode      uint8
+	version   uint8
+	count     int64
+	firstSeen time.Time
+	lastSeen  time.Time
+}
+
+// New builds a server from cfg, applying defaults: implementation XNTPD,
+// request code MON_GETLIST_1, mega replay spacing 500ms over 40 events.
+func New(cfg Config) *Server {
+	if cfg.Implementation == 0 {
+		cfg.Implementation = ntp.ImplXNTPD
+	}
+	if cfg.ReqCode == 0 {
+		cfg.ReqCode = ntp.ReqMonGetList1
+	}
+	if cfg.MegaEvents <= 0 {
+		cfg.MegaEvents = 40
+	}
+	if cfg.MegaInterval <= 0 {
+		cfg.MegaInterval = 500 * time.Millisecond
+	}
+	if cfg.Stratum == 0 {
+		cfg.Stratum = 3
+	}
+	return &Server{cfg: cfg, mru: list.New(), index: make(map[netaddr.Addr]*list.Element)}
+}
+
+// Config returns the server's configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Addr returns the server's address.
+func (s *Server) Addr() netaddr.Addr { return s.cfg.Addr }
+
+// IsAmplifier reports whether the daemon currently answers monlist.
+func (s *Server) IsAmplifier() bool { return s.cfg.MonlistEnabled }
+
+// Patch applies the §6 remediation: upgrade or `restrict noquery`, which
+// stops monlist responses. Mode 6 usually stays on — matching the paper's
+// observation that the version pool barely shrank.
+func (s *Server) Patch() { s.cfg.MonlistEnabled = false }
+
+// PatchMode6 additionally disables control queries.
+func (s *Server) PatchMode6() { s.cfg.Mode6Enabled = false }
+
+// MRULen returns the current monitor table size.
+func (s *Server) MRULen() int { return s.mru.Len() }
+
+// Record notes a packet from a client in the MRU list, honouring the
+// 600-entry cap with least-recently-seen eviction. rep is the Rep batching
+// multiplier of the observed datagram.
+func (s *Server) Record(addr netaddr.Addr, port uint16, mode, version uint8, rep int64, now time.Time) {
+	if rep <= 0 {
+		rep = 1
+	}
+	s.mruGen++
+	if el, ok := s.index[addr]; ok {
+		e := el.Value.(*mruEntry)
+		e.count += rep
+		e.lastSeen = now
+		e.port = port
+		e.mode = mode
+		e.version = version
+		s.mru.MoveToFront(el)
+		return
+	}
+	e := &mruEntry{addr: addr, port: port, mode: mode, version: version,
+		count: rep, firstSeen: now, lastSeen: now}
+	s.index[addr] = s.mru.PushFront(e)
+	for s.mru.Len() > ntp.MaxMonlistEntries {
+		back := s.mru.Back()
+		delete(s.index, back.Value.(*mruEntry).addr)
+		s.mru.Remove(back)
+	}
+}
+
+// ExpireOlderThan drops monitor entries whose last packet predates cutoff —
+// the effect continuous client traffic has on a bounded MRU list. The
+// scenario expires entries beyond ~48 hours before each survey, which is
+// what bounds the §4.2 observation window (and the resulting ~3.8×
+// under-sampling of attacks).
+func (s *Server) ExpireOlderThan(cutoff time.Time) {
+	var next *list.Element
+	for el := s.mru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*mruEntry)
+		if e.lastSeen.Before(cutoff) {
+			delete(s.index, e.addr)
+			s.mru.Remove(el)
+			s.mruGen++
+		}
+	}
+}
+
+// monlistEntries renders the MRU list as wire entries, most recent first.
+// Inter-arrival and last-seen are computed at query time, like ntpd does.
+func (s *Server) monlistEntries(now time.Time) []ntp.MonEntry {
+	out := make([]ntp.MonEntry, 0, s.mru.Len())
+	for el := s.mru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*mruEntry)
+		var avg uint32
+		if e.count > 1 {
+			avg = uint32(e.lastSeen.Sub(e.firstSeen) / time.Second / time.Duration(e.count-1))
+		}
+		out = append(out, ntp.MonEntry{
+			Addr:        e.addr,
+			DAddr:       s.cfg.Addr,
+			Count:       uint32(min64(e.count, 1<<32-1)),
+			Mode:        e.mode,
+			Version:     e.version,
+			Port:        e.port,
+			AvgInterval: avg,
+			LastSeen:    uint32(now.Sub(e.lastSeen) / time.Second),
+		})
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Respond is the transport-independent request path: it processes one UDP
+// payload from src and returns the response payloads the daemon would send
+// back (without the §3.4 mega replay, which needs a scheduler). cmd/ntpdsim
+// serves real UDP sockets through this method; the netsim HandlePacket path
+// produces identical responses.
+func (s *Server) Respond(payload []byte, src netaddr.Addr, srcPort uint16, now time.Time) [][]byte {
+	mode, ok := ntp.Mode(payload)
+	if !ok {
+		return nil
+	}
+	s.QueriesSeen++
+	switch mode {
+	case ntp.ModeClient:
+		var req ntp.Header
+		if err := req.DecodeFromBytes(payload); err != nil {
+			return nil
+		}
+		s.Record(src, srcPort, ntp.ModeClient, req.Version, 1, now)
+		return [][]byte{ntp.NewServerReply(&req, uint8(s.cfg.Stratum), now).AppendTo(nil)}
+	case ntp.ModePrivate:
+		m, err := ntp.DecodeMode7(payload)
+		if err != nil || m.Response {
+			return nil
+		}
+		s.Record(src, srcPort, ntp.ModePrivate, 2, 1, now)
+		if !s.cfg.MonlistEnabled ||
+			(m.Implementation != s.cfg.Implementation && m.Implementation != ntp.ImplUniv) {
+			return nil
+		}
+		switch m.Request {
+		case ntp.ReqMonGetList, ntp.ReqMonGetList1:
+			return s.monlistFragments(m.Request, 1, now)
+		case ntp.ReqPeerList:
+			return ntp.BuildPeerListResponse(s.peerEntries(), s.cfg.Implementation)
+		}
+		return nil
+	case ntp.ModeControl:
+		m, err := ntp.DecodeMode6(payload)
+		if err != nil || m.Response {
+			return nil
+		}
+		s.Record(src, srcPort, ntp.ModeControl, 2, 1, now)
+		if !s.cfg.Mode6Enabled || m.OpCode != ntp.OpReadVar {
+			return nil
+		}
+		return ntp.BuildReadVarResponse(m.Sequence, s.readVarText())
+	default:
+		s.Record(src, srcPort, uint8(mode), 0, 1, now)
+		return nil
+	}
+}
+
+// readVarText renders the daemon's system-variable response body.
+func (s *Server) readVarText() string {
+	vars := ntp.SystemVariables{
+		Version:   s.cfg.Profile.VersionString,
+		Processor: s.cfg.Profile.Processor,
+		System:    s.cfg.Profile.SystemString,
+		Stratum:   s.cfg.Stratum,
+		RefID:     s.refID(),
+	}
+	text := vars.Encode()
+	for pad := 0; pad < s.cfg.ExtraVarBytes; pad += 44 {
+		text += fmt.Sprintf(", peer%d=10.%d.%d.%d flash=0 reach=377", pad/44,
+			pad%200, (pad/3)%200, (pad/7)%200)
+	}
+	return text
+}
+
+// HandlePacket implements netsim.Host: the daemon's dispatch on NTP mode.
+func (s *Server) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	if dg.UDP.DstPort != ntp.Port {
+		return
+	}
+	mode, ok := ntp.Mode(dg.Payload)
+	if !ok {
+		return
+	}
+	s.QueriesSeen += dg.Rep
+	switch mode {
+	case ntp.ModeClient:
+		s.handleClient(nw, dg, now)
+	case ntp.ModePrivate:
+		s.handleMode7(nw, dg, now)
+	case ntp.ModeControl:
+		s.handleMode6(nw, dg, now)
+	default:
+		// Other modes are recorded but not answered.
+		s.Record(dg.IP.Src, dg.UDP.SrcPort, uint8(mode), 0, dg.Rep, now)
+	}
+}
+
+// handleClient answers an honest mode 3 time request with a mode 4 reply.
+func (s *Server) handleClient(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	var req ntp.Header
+	if err := req.DecodeFromBytes(dg.Payload); err != nil {
+		return
+	}
+	s.Record(dg.IP.Src, dg.UDP.SrcPort, ntp.ModeClient, req.Version, dg.Rep, now)
+	rep := ntp.NewServerReply(&req, uint8(s.cfg.Stratum), now)
+	s.reply(nw, dg, rep.AppendTo(nil))
+}
+
+// handleMode7 serves (or ignores) a private-mode request.
+func (s *Server) handleMode7(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	m, err := ntp.DecodeMode7(dg.Payload)
+	if err != nil || m.Response {
+		return
+	}
+	s.Record(dg.IP.Src, dg.UDP.SrcPort, ntp.ModePrivate, 2, dg.Rep, now)
+	if !s.cfg.MonlistEnabled {
+		return // patched daemons silently drop restricted queries
+	}
+	if m.Implementation != s.cfg.Implementation && m.Implementation != ntp.ImplUniv {
+		return // the §3.1 implementation-mismatch blind spot
+	}
+	switch m.Request {
+	case ntp.ReqMonGetList, ntp.ReqMonGetList1:
+		s.sendMonlist(nw, dg, m.Request, now)
+		if s.cfg.MegaAmp {
+			s.startMegaReplay(nw, dg, m.Request)
+		}
+	case ntp.ReqPeerList:
+		for _, frag := range ntp.BuildPeerListResponse(s.peerEntries(), s.cfg.Implementation) {
+			out := packet.NewDatagram(s.cfg.Addr, ntp.Port, dg.IP.Src, dg.UDP.SrcPort, frag)
+			out.IP.TTL = s.cfg.Profile.TTL
+			out.Rep = dg.Rep
+			if nw.SendFrom(s.cfg.Addr, out) {
+				s.BytesSent += int64(out.OnWire()) * out.Rep
+			}
+		}
+	}
+}
+
+// peerEntries renders the configured upstream associations.
+func (s *Server) peerEntries() []ntp.PeerEntry {
+	out := make([]ntp.PeerEntry, len(s.cfg.Peers))
+	for i, p := range s.cfg.Peers {
+		out[i] = ntp.PeerEntry{Addr: p, Port: ntp.Port, HMode: ntp.ModeClient, Flags: 0x01}
+	}
+	return out
+}
+
+// sendMonlist emits the fragmented monlist response toward the packet's
+// (possibly spoofed) source.
+func (s *Server) sendMonlist(nw *netsim.Network, trigger *packet.Datagram, reqCode uint8, now time.Time) {
+	fragments := s.monlistFragments(reqCode, trigger.Rep, now)
+	for _, frag := range fragments {
+		out := packet.NewDatagram(s.cfg.Addr, ntp.Port, trigger.IP.Src, trigger.UDP.SrcPort, frag)
+		out.IP.TTL = s.cfg.Profile.TTL
+		out.Rep = trigger.Rep
+		if nw.SendFrom(s.cfg.Addr, out) {
+			s.MonlistSent += out.Rep
+			s.BytesSent += int64(out.OnWire()) * out.Rep
+		}
+	}
+}
+
+// monlistFragments returns the encoded response via a staleness-tolerant
+// cache: under attack, a daemon's 600-entry table is re-encoded at most
+// every ten minutes rather than per trigger. Survey probes may therefore
+// see a table a few minutes old — consistent with the paper's observation
+// that the probe is "typically but not always" the topmost entry.
+func (s *Server) monlistFragments(reqCode uint8, rep int64, now time.Time) [][]byte {
+	const maxGenDrift = 500
+	if s.cacheFrags != nil && s.cacheReq == reqCode &&
+		s.mruGen-s.cacheGen <= maxGenDrift && now.Sub(s.cacheAt) < 10*time.Minute {
+		return s.cacheFrags
+	}
+	frags := ntp.BuildMonlistResponse(s.monlistEntries(now), s.cfg.Implementation, reqCode)
+	s.cacheFrags = frags
+	s.cacheReq = reqCode
+	s.cacheGen = s.mruGen
+	s.cacheAt = now
+	return frags
+}
+
+// startMegaReplay schedules the §3.4 flaw: the daemon re-processes the query
+// repeatedly, incrementing the querier's count and resending the updated
+// table. The replay volume is Rep-batched over MegaEvents scheduler events.
+func (s *Server) startMegaReplay(nw *netsim.Network, trigger *packet.Datagram, reqCode uint8) {
+	if s.cfg.MegaRepeats <= 0 || nw.Now().Before(s.megaUntil) {
+		return
+	}
+	events := s.cfg.MegaEvents
+	s.megaUntil = nw.Now().Add(time.Duration(events+1) * s.cfg.MegaInterval)
+	perEvent := s.cfg.MegaRepeats / int64(events)
+	if perEvent <= 0 {
+		perEvent = 1
+		events = int(s.cfg.MegaRepeats)
+	}
+	src, sport := trigger.IP.Src, trigger.UDP.SrcPort
+	for i := 1; i <= events; i++ {
+		nw.Scheduler().After(time.Duration(i)*s.cfg.MegaInterval, func(now time.Time) {
+			// Each replay batch re-counts the querier, exactly the behaviour
+			// the paper reverse-engineered from the repeating tables.
+			s.Record(src, sport, ntp.ModePrivate, 2, perEvent, now)
+			replay := *trigger
+			replay.Rep = perEvent
+			s.sendMonlist(nw, &replay, reqCode, now)
+		})
+	}
+}
+
+// handleMode6 serves a readvar (version) request.
+func (s *Server) handleMode6(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	m, err := ntp.DecodeMode6(dg.Payload)
+	if err != nil || m.Response {
+		return
+	}
+	s.Record(dg.IP.Src, dg.UDP.SrcPort, ntp.ModeControl, 2, dg.Rep, now)
+	if !s.cfg.Mode6Enabled || m.OpCode != ntp.OpReadVar {
+		return
+	}
+	for _, frag := range ntp.BuildReadVarResponse(m.Sequence, s.readVarText()) {
+		out := packet.NewDatagram(s.cfg.Addr, ntp.Port, dg.IP.Src, dg.UDP.SrcPort, frag)
+		out.IP.TTL = s.cfg.Profile.TTL
+		out.Rep = dg.Rep
+		if nw.SendFrom(s.cfg.Addr, out) {
+			s.BytesSent += int64(out.OnWire()) * out.Rep
+		}
+	}
+}
+
+func (s *Server) refID() string {
+	if s.cfg.Stratum == ntp.StratumUnsynchronized {
+		return "INIT"
+	}
+	return "GPS"
+}
+
+// reply sends a unicast response back to the querying datagram's source.
+func (s *Server) reply(nw *netsim.Network, dg *packet.Datagram, payload []byte) {
+	out := packet.NewDatagram(s.cfg.Addr, ntp.Port, dg.IP.Src, dg.UDP.SrcPort, payload)
+	out.IP.TTL = s.cfg.Profile.TTL
+	out.Rep = dg.Rep
+	if nw.SendFrom(s.cfg.Addr, out) {
+		s.BytesSent += int64(out.OnWire()) * out.Rep
+	}
+}

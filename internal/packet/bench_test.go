@@ -1,0 +1,39 @@
+package packet
+
+import (
+	"testing"
+
+	"ntpddos/internal/netaddr"
+)
+
+func BenchmarkDatagramEncode(b *testing.B) {
+	d := NewDatagram(netaddr.MustParseAddr("10.0.0.1"), 57915,
+		netaddr.MustParseAddr("198.51.100.2"), 123, make([]byte, 440))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatagramDecode(b *testing.B) {
+	d := NewDatagram(netaddr.MustParseAddr("10.0.0.1"), 57915,
+		netaddr.MustParseAddr("198.51.100.2"), 123, make([]byte, 440))
+	raw, err := d.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDatagram(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnWireBytes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = OnWireBytes(i % 1500)
+	}
+}

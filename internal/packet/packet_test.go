@@ -1,0 +1,171 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ntpddos/internal/netaddr"
+)
+
+func TestOnWireBytes(t *testing.T) {
+	cases := []struct{ ipLen, want int }{
+		{20, 84},   // tiny packet hits the 64-byte frame floor + 20 preamble/gap
+		{46, 84},   // exactly the floor
+		{47, 85},   // one past the floor
+		{28, 84},   // IP+UDP, no payload
+		{468, 506}, // a 440-byte-payload monlist fragment
+		{1500, 1538},
+	}
+	for _, c := range cases {
+		if got := OnWireBytes(c.ipLen); got != c.want {
+			t.Fatalf("OnWireBytes(%d) = %d, want %d", c.ipLen, got, c.want)
+		}
+	}
+}
+
+func TestMinOnWireIs84(t *testing.T) {
+	// The paper's BAF denominator: "the 64 minimum Ethernet frame plus
+	// preamble and inter-packet gap, which total 84 bytes".
+	if MinOnWire != 84 {
+		t.Fatalf("MinOnWire = %d, want 84", MinOnWire)
+	}
+	if OnWireBytesForUDPPayload(8) != 84 {
+		t.Fatalf("8-byte monlist probe must cost 84 on-wire bytes, got %d",
+			OnWireBytesForUDPPayload(8))
+	}
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	src := netaddr.MustParseAddr("192.0.2.1")
+	dst := netaddr.MustParseAddr("198.51.100.2")
+	payload := []byte("\x17\x00\x03\x2a\x00\x00\x00\x00")
+	d := NewDatagram(src, 49000, dst, 123, payload)
+	raw, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDatagram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.Src != src || got.IP.Dst != dst {
+		t.Fatalf("addresses corrupted: %v -> %v", got.IP.Src, got.IP.Dst)
+	}
+	if got.UDP.SrcPort != 49000 || got.UDP.DstPort != 123 {
+		t.Fatalf("ports corrupted: %d -> %d", got.UDP.SrcPort, got.UDP.DstPort)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload corrupted: %x", got.Payload)
+	}
+	if got.IP.TTL != 64 {
+		t.Fatalf("default TTL = %d", got.IP.TTL)
+	}
+}
+
+func TestDatagramRoundTripProperty(t *testing.T) {
+	f := func(src, dst uint32, sport, dport uint16, payload []byte) bool {
+		if len(payload) > MTU-IPv4HeaderLen-UDPHeaderLen {
+			payload = payload[:MTU-IPv4HeaderLen-UDPHeaderLen]
+		}
+		d := NewDatagram(netaddr.Addr(src), sport, netaddr.Addr(dst), dport, payload)
+		raw, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodeDatagram(raw)
+		if err != nil {
+			return false
+		}
+		return got.IP.Src == netaddr.Addr(src) && got.IP.Dst == netaddr.Addr(dst) &&
+			got.UDP.SrcPort == sport && got.UDP.DstPort == dport &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	d := NewDatagram(netaddr.MustParseAddr("10.0.0.1"), 1, netaddr.MustParseAddr("10.0.0.2"), 2,
+		[]byte("hello world"))
+	raw, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in each region and confirm the decoder rejects it.
+	for _, idx := range []int{8 /*TTL*/, 13 /*src*/, 30 /*payload*/} {
+		bad := bytes.Clone(raw)
+		bad[idx] ^= 0x01
+		if _, err := DecodeDatagram(bad); err == nil {
+			t.Fatalf("corruption at byte %d not detected", idx)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	d := NewDatagram(netaddr.MustParseAddr("10.0.0.1"), 1, netaddr.MustParseAddr("10.0.0.2"), 2,
+		[]byte("payload"))
+	raw, _ := d.Encode()
+	for _, n := range []int{0, 5, 19, 25} {
+		if _, err := DecodeDatagram(raw[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestDecodeNonUDPRejected(t *testing.T) {
+	h := IPv4{TTL: 64, Protocol: 6 /*TCP*/, Src: 1, Dst: 2}
+	raw, err := h.AppendTo(nil, make([]byte, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDatagram(raw); err == nil {
+		t.Fatal("non-UDP packet decoded as datagram")
+	}
+}
+
+func TestEncodeOverMTU(t *testing.T) {
+	d := NewDatagram(1, 1, 2, 2, make([]byte, MTU))
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("over-MTU packet encoded")
+	}
+}
+
+func TestIPLenAndOnWire(t *testing.T) {
+	d := NewDatagram(1, 1, 2, 2, make([]byte, 100))
+	if d.IPLen() != 128 {
+		t.Fatalf("IPLen = %d, want 128", d.IPLen())
+	}
+	if d.OnWire() != 128+18+20 {
+		t.Fatalf("OnWire = %d", d.OnWire())
+	}
+}
+
+func TestTTLPreserved(t *testing.T) {
+	d := NewDatagram(1, 1, 2, 2, []byte("x"))
+	d.IP.TTL = 109 // the Windows-bot attack TTL signature of §7.2
+	raw, _ := d.Encode()
+	got, err := DecodeDatagram(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IP.TTL != 109 {
+		t.Fatalf("TTL = %d, want 109", got.IP.TTL)
+	}
+}
+
+func TestUDPZeroChecksumAccepted(t *testing.T) {
+	// A UDP checksum of zero means "not computed" and must be accepted.
+	d := NewDatagram(1, 1, 2, 2, []byte("abc"))
+	seg := d.UDP.AppendTo(nil, d.Payload, d.IP.Src, d.IP.Dst)
+	seg[6], seg[7] = 0, 0 // clear the checksum
+	var u UDP
+	payload, err := u.DecodeFromBytes(seg, d.IP.Src, d.IP.Dst)
+	if err != nil {
+		t.Fatalf("zero-checksum segment rejected: %v", err)
+	}
+	if !bytes.Equal(payload, []byte("abc")) {
+		t.Fatal("payload corrupted")
+	}
+}

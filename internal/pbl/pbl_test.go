@@ -1,0 +1,95 @@
+package pbl
+
+import (
+	"testing"
+
+	"ntpddos/internal/asdb"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/rng"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	l := New()
+	l.Add(netaddr.MustParsePrefix("10.1.0.0/16"))
+	if !l.IsEndHost(netaddr.MustParseAddr("10.1.200.9")) {
+		t.Fatal("listed address not matched")
+	}
+	if l.IsEndHost(netaddr.MustParseAddr("10.2.0.1")) {
+		t.Fatal("unlisted address matched")
+	}
+	if l.NumPrefixes() != 1 {
+		t.Fatalf("NumPrefixes = %d", l.NumPrefixes())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	l := New()
+	p := netaddr.MustParsePrefix("192.0.2.0/24")
+	l.Add(p)
+	l.Add(p)
+	if l.NumPrefixes() != 1 {
+		t.Fatalf("duplicate Add counted twice: %d", l.NumPrefixes())
+	}
+}
+
+func TestCountEndHosts(t *testing.T) {
+	l := New()
+	l.Add(netaddr.MustParsePrefix("198.51.100.0/24"))
+	addrs := []netaddr.Addr{
+		netaddr.MustParseAddr("198.51.100.1"),
+		netaddr.MustParseAddr("198.51.100.2"),
+		netaddr.MustParseAddr("203.0.113.1"),
+	}
+	if got := l.CountEndHosts(addrs); got != 2 {
+		t.Fatalf("CountEndHosts = %d, want 2", got)
+	}
+}
+
+func TestDeriveListsResidentialNotHosting(t *testing.T) {
+	db := asdb.Build(rng.New(5), asdb.Config{NumASes: 400, SpooferFraction: 0.25})
+	l := Derive(db, rng.New(6), Config{ResidentialCoverage: 1.0, EnterpriseCoverage: 0})
+	src := rng.New(7)
+
+	for _, as := range db.OfType(asdb.Residential) {
+		for i := 0; i < 5; i++ {
+			if !l.IsEndHost(as.RandomAddr(src)) {
+				t.Fatalf("residential AS%d address not PBL-listed at full coverage", as.Number)
+			}
+		}
+	}
+	for _, as := range db.OfType(asdb.Hosting) {
+		for i := 0; i < 5; i++ {
+			if l.IsEndHost(as.RandomAddr(src)) {
+				t.Fatalf("hosting AS%d address PBL-listed", as.Number)
+			}
+		}
+	}
+}
+
+func TestDerivePartialCoverage(t *testing.T) {
+	db := asdb.Build(rng.New(5), asdb.Config{NumASes: 400, SpooferFraction: 0.25})
+	l := Derive(db, rng.New(8), Config{ResidentialCoverage: 0.5, EnterpriseCoverage: 0})
+	src := rng.New(9)
+	listed, total := 0, 0
+	for _, as := range db.OfType(asdb.Residential) {
+		for i := 0; i < 50; i++ {
+			total++
+			if l.IsEndHost(as.RandomAddr(src)) {
+				listed++
+			}
+		}
+	}
+	frac := float64(listed) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("half coverage lists %.2f of residential addresses", frac)
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	db := asdb.Build(rng.New(5), asdb.Config{NumASes: 200, SpooferFraction: 0.25})
+	a := Derive(db, rng.New(10), DefaultConfig())
+	b := Derive(db, rng.New(10), DefaultConfig())
+	if a.NumPrefixes() != b.NumPrefixes() {
+		t.Fatalf("same-seed derive differs: %d vs %d", a.NumPrefixes(), b.NumPrefixes())
+	}
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{ID: "fig1", Title: "Traffic fractions",
+		Headers: []string{"date", "ntp", "dns"}}
+	t.AddRow("2014-02-11", "0.01", "0.0015")
+	t.AddRowf("2014-02-12", 0.009, 0.0015)
+	t.AddNote("peak on Feb %d", 11)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	out := sample().Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[0], "fig1") || !strings.Contains(lines[0], "Traffic fractions") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "date") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator line = %q", lines[2])
+	}
+	if !strings.Contains(out, "note: peak on Feb 11") {
+		t.Fatal("note missing")
+	}
+	// Columns must align: "ntp" column starts at the same offset everywhere.
+	hIdx := strings.Index(lines[1], "ntp")
+	rIdx := strings.Index(lines[3], "0.01")
+	if hIdx != rIdx {
+		t.Fatalf("column misaligned: header at %d, row at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "date,ntp,dns" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "2014-02-11,0.01,0.0015" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}, Rows: [][]string{{`x,"y"`}}}
+	if !strings.Contains(tab.CSV(), `"x,""y"""`) {
+		t.Fatalf("quoting failed: %q", tab.CSV())
+	}
+}
+
+func TestCount(t *testing.T) {
+	if Count(14, 100) != "14 (~1400)" {
+		t.Fatalf("Count = %q", Count(14, 100))
+	}
+	if Count(14, 1) != "14" {
+		t.Fatalf("unit scale = %q", Count(14, 1))
+	}
+}
+
+func TestSI(t *testing.T) {
+	cases := map[float64]string{
+		1.2e15: "1.20P", 2.92e12: "2.92T", 1.4e6: "1.40M", 420: "420",
+		9.9e3: "9.90k", 3e9: "3.00G",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Fatalf("SI(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(92.04) != "92.0%" {
+		t.Fatalf("Pct = %q", Pct(92.04))
+	}
+}

@@ -1,0 +1,229 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestForkIsolation(t *testing.T) {
+	// Forking a named child must not disturb the parent stream relative to
+	// an identically seeded parent that forks the same name.
+	p1, p2 := New(7), New(7)
+	_ = p1.Fork("darknet")
+	_ = p2.Fork("darknet")
+	for i := 0; i < 100; i++ {
+		if p1.Uint64() != p2.Uint64() {
+			t.Fatalf("fork perturbed parent stream at draw %d", i)
+		}
+	}
+}
+
+func TestForkNamesProduceDistinctStreams(t *testing.T) {
+	p := New(7)
+	a := p.Fork("scan")
+	b := p.Fork("attack")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct fork names matched %d/100 draws", same)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !s.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolFrequency(t *testing.T) {
+	s := New(3)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %.4f", got)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		v := s.Pareto(100, 1.5)
+		if v < 100 {
+			t.Fatalf("Pareto(100, 1.5) = %v below scale", v)
+		}
+	}
+}
+
+func TestParetoMedian(t *testing.T) {
+	// Median of Pareto(xm, a) is xm * 2^(1/a).
+	s := New(5)
+	n := 200000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = s.Pareto(1, 2)
+	}
+	above := 0
+	want := math.Pow(2, 0.5)
+	for _, v := range vals {
+		if v > want {
+			above++
+		}
+	}
+	frac := float64(above) / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Pareto median check: %.4f above theoretical median, want 0.5", frac)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(3, 2); v <= 0 {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(11)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		n := 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroAndNegative(t *testing.T) {
+	s := New(1)
+	if s.Poisson(0) != 0 || s.Poisson(-3) != 0 {
+		t.Fatal("Poisson of non-positive mean must be 0")
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	s := New(13)
+	counts := [3]int{}
+	for i := 0; i < 60000; i++ {
+		counts[s.Weighted([]float64{1, 2, 3})]++
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Fatalf("Weighted ordering violated: %v", counts)
+	}
+	got := float64(counts[2]) / 60000
+	if math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("weight-3 frequency = %.4f, want ~0.5", got)
+	}
+}
+
+func TestWeightedSkipsNonPositive(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		if idx := s.Weighted([]float64{0, -1, 5, 0}); idx != 2 {
+			t.Fatalf("Weighted chose zero-weight index %d", idx)
+		}
+	}
+}
+
+func TestWeightedPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weighted with zero total did not panic")
+		}
+	}()
+	New(1).Weighted([]float64{0, 0})
+}
+
+func TestWeightedTableMatchesWeighted(t *testing.T) {
+	weights := []float64{5, 0, 1, 4}
+	tab := NewWeightedTable(weights)
+	s := New(17)
+	counts := make([]int, 4)
+	for i := 0; i < 100000; i++ {
+		counts[tab.Draw(s)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight entry drawn %d times", counts[1])
+	}
+	for i, want := range []float64{0.5, 0, 0.1, 0.4} {
+		got := float64(counts[i]) / 100000
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("entry %d frequency %.4f, want %.2f", i, got, want)
+		}
+	}
+}
+
+func TestSamplePartitionConserves(t *testing.T) {
+	s := New(19)
+	for _, tc := range []struct{ total, n int }{{100, 3}, {1, 5}, {0, 2}, {1 << 20, 64}} {
+		parts := s.SamplePartition(tc.total, tc.n, 1.1)
+		if len(parts) != tc.n {
+			t.Fatalf("partition of %d into %d returned %d parts", tc.total, tc.n, len(parts))
+		}
+		sum := 0
+		for _, p := range parts {
+			if p < 0 {
+				t.Fatalf("negative part %d", p)
+			}
+			sum += p
+		}
+		if sum != tc.total {
+			t.Fatalf("partition sums to %d, want %d", sum, tc.total)
+		}
+	}
+}
+
+func TestZipfConcentration(t *testing.T) {
+	s := New(23)
+	z := s.Zipf(1.5, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		counts[z.Uint64()]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[5] {
+		t.Fatalf("Zipf not rank-concentrated: rank0=%d rank1=%d rank5=%d",
+			counts[0], counts[1], counts[5])
+	}
+}

@@ -1,0 +1,42 @@
+package routing
+
+import (
+	"testing"
+
+	"ntpddos/internal/netaddr"
+)
+
+func benchTable(routes int) *Table {
+	t := NewTable()
+	for i := 0; i < routes; i++ {
+		base := netaddr.Addr(uint32(i) * 65536)
+		t.Announce(netaddr.NewPrefix(base, 16), ASN(i%5000))
+		if i%4 == 0 {
+			t.Announce(netaddr.NewPrefix(base, 20), ASN(i%5000+10000))
+		}
+	}
+	t.Freeze()
+	return t
+}
+
+func BenchmarkLookup(b *testing.B) {
+	t := benchTable(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(netaddr.Addr(uint32(i) * 2654435761))
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	t := benchTable(10000)
+	addrs := make([]netaddr.Addr, 10000)
+	for i := range addrs {
+		addrs[i] = netaddr.Addr(uint32(i) * 40503)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Aggregate(addrs)
+	}
+}

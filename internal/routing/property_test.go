@@ -1,0 +1,67 @@
+package routing
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"ntpddos/internal/netaddr"
+)
+
+// bruteForceLookup is the obviously-correct reference: scan every route and
+// keep the longest match.
+func bruteForceLookup(routes []Route, a netaddr.Addr) (Route, bool) {
+	best := Route{Prefix: netaddr.Prefix{Bits: -1}}
+	found := false
+	for _, r := range routes {
+		if r.Prefix.Contains(a) && r.Prefix.Bits > best.Prefix.Bits {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TestLookupMatchesBruteForce cross-checks the per-length-map LPM against a
+// linear scan over random tables and random addresses.
+func TestLookupMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		tab := NewTable()
+		var routes []Route
+		n := 1 + r.IntN(60)
+		for i := 0; i < n; i++ {
+			bits := r.IntN(33)
+			p := netaddr.NewPrefix(netaddr.Addr(r.Uint32()), bits)
+			asn := ASN(r.IntN(1000))
+			tab.Announce(p, asn)
+			// mirror the overwrite semantics
+			replaced := false
+			for j := range routes {
+				if routes[j].Prefix == p {
+					routes[j].Origin = asn
+					replaced = true
+				}
+			}
+			if !replaced {
+				routes = append(routes, Route{Prefix: p, Origin: asn})
+			}
+		}
+		tab.Freeze()
+		for q := 0; q < 50; q++ {
+			a := netaddr.Addr(r.Uint32())
+			got, okGot := tab.Lookup(a)
+			want, okWant := bruteForceLookup(routes, a)
+			if okGot != okWant {
+				return false
+			}
+			if okGot && (got.Prefix != want.Prefix || got.Origin != want.Origin) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

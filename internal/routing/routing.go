@@ -1,0 +1,146 @@
+// Package routing implements the longest-prefix-match table and routed-block
+// registry the analysis joins against: every amplifier and victim IP is
+// attributed to a routed block and an origin AS, the aggregation levels of
+// Figure 3 and Table 1.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"ntpddos/internal/netaddr"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Route is one announced block and its origin.
+type Route struct {
+	Prefix netaddr.Prefix
+	Origin ASN
+}
+
+// Table is a longest-prefix-match routing table. Build it with Announce and
+// then call Freeze (or just Lookup, which freezes lazily) before lookups.
+// The lookup strategy is per-length hash maps probed longest-first: with the
+// ≤25 announced lengths of a real table this is a handful of map probes per
+// lookup, plenty for simulation scale and free of pointer-heavy tries.
+type Table struct {
+	byLen  [33]map[netaddr.Addr]ASN
+	routes []Route
+	frozen bool
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table { return &Table{} }
+
+// Announce adds a route. Re-announcing the same prefix overwrites the origin
+// (latest announcement wins, as in BGP). Announcing after Freeze panics —
+// the simulated control plane is static once the world is built.
+func (t *Table) Announce(p netaddr.Prefix, origin ASN) {
+	if t.frozen {
+		panic("routing: Announce after Freeze")
+	}
+	if t.byLen[p.Bits] == nil {
+		t.byLen[p.Bits] = make(map[netaddr.Addr]ASN)
+	}
+	if _, exists := t.byLen[p.Bits][p.Base]; !exists {
+		t.routes = append(t.routes, Route{Prefix: p, Origin: origin})
+	} else {
+		for i := range t.routes {
+			if t.routes[i].Prefix == p {
+				t.routes[i].Origin = origin
+				break
+			}
+		}
+	}
+	t.byLen[p.Bits][p.Base] = origin
+}
+
+// Freeze sorts the route list and marks the table immutable.
+func (t *Table) Freeze() {
+	if t.frozen {
+		return
+	}
+	sort.Slice(t.routes, func(i, j int) bool {
+		return t.routes[i].Prefix.Compare(t.routes[j].Prefix) < 0
+	})
+	t.frozen = true
+}
+
+// Lookup returns the longest-prefix-match route for addr. ok is false when
+// the address is unrouted (dark space).
+func (t *Table) Lookup(a netaddr.Addr) (Route, bool) {
+	for bits := 32; bits >= 0; bits-- {
+		m := t.byLen[bits]
+		if m == nil {
+			continue
+		}
+		base := a
+		if bits < 32 {
+			base = a &^ (1<<(32-bits) - 1)
+		}
+		if origin, ok := m[base]; ok {
+			return Route{Prefix: netaddr.Prefix{Base: base, Bits: bits}, Origin: origin}, true
+		}
+	}
+	return Route{}, false
+}
+
+// OriginOf returns the origin AS for addr, or (0, false) for dark space.
+func (t *Table) OriginOf(a netaddr.Addr) (ASN, bool) {
+	r, ok := t.Lookup(a)
+	return r.Origin, ok
+}
+
+// RoutedBlockOf returns the most-specific announced block covering addr —
+// the paper's "routed block" aggregation unit.
+func (t *Table) RoutedBlockOf(a netaddr.Addr) (netaddr.Prefix, bool) {
+	r, ok := t.Lookup(a)
+	return r.Prefix, ok
+}
+
+// Routes returns all announced routes in deterministic (prefix) order. The
+// table must be frozen first.
+func (t *Table) Routes() []Route {
+	if !t.frozen {
+		panic("routing: Routes before Freeze")
+	}
+	return t.routes
+}
+
+// NumRoutes returns the number of announced blocks.
+func (t *Table) NumRoutes() int { return len(t.routes) }
+
+// GroupCounts aggregates a set of addresses at the three levels the paper's
+// Table 1 and Figure 3 report: distinct routed blocks, distinct origin ASes,
+// and (for convenience) the count of addresses that were unrouted.
+type GroupCounts struct {
+	Blocks   int
+	ASNs     int
+	Unrouted int
+}
+
+// Aggregate computes GroupCounts for the given addresses.
+func (t *Table) Aggregate(addrs []netaddr.Addr) GroupCounts {
+	blocks := make(map[netaddr.Prefix]struct{})
+	asns := make(map[ASN]struct{})
+	var g GroupCounts
+	for _, a := range addrs {
+		r, ok := t.Lookup(a)
+		if !ok {
+			g.Unrouted++
+			continue
+		}
+		blocks[r.Prefix] = struct{}{}
+		asns[r.Origin] = struct{}{}
+	}
+	g.Blocks = len(blocks)
+	g.ASNs = len(asns)
+	return g
+}
+
+// String summarises the table.
+func (t *Table) String() string {
+	return fmt.Sprintf("routing.Table{%d routes}", len(t.routes))
+}

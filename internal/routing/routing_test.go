@@ -1,0 +1,116 @@
+package routing
+
+import (
+	"testing"
+
+	"ntpddos/internal/netaddr"
+)
+
+func buildTable(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable()
+	tab.Announce(netaddr.MustParsePrefix("10.0.0.0/8"), 100)
+	tab.Announce(netaddr.MustParsePrefix("10.1.0.0/16"), 200)
+	tab.Announce(netaddr.MustParsePrefix("10.1.2.0/24"), 300)
+	tab.Announce(netaddr.MustParsePrefix("192.0.2.0/24"), 400)
+	tab.Freeze()
+	return tab
+}
+
+func TestLongestPrefixMatch(t *testing.T) {
+	tab := buildTable(t)
+	cases := []struct {
+		addr string
+		asn  ASN
+	}{
+		{"10.200.1.1", 100}, // only the /8 covers
+		{"10.1.99.1", 200},  // /16 beats /8
+		{"10.1.2.3", 300},   // /24 beats /16 and /8
+		{"192.0.2.200", 400},
+	}
+	for _, c := range cases {
+		r, ok := tab.Lookup(netaddr.MustParseAddr(c.addr))
+		if !ok || r.Origin != c.asn {
+			t.Fatalf("Lookup(%s) = %+v/%v, want ASN %d", c.addr, r, ok, c.asn)
+		}
+	}
+}
+
+func TestLookupDarkSpace(t *testing.T) {
+	tab := buildTable(t)
+	if _, ok := tab.Lookup(netaddr.MustParseAddr("203.0.113.1")); ok {
+		t.Fatal("unrouted address resolved")
+	}
+	if _, ok := tab.OriginOf(netaddr.MustParseAddr("203.0.113.1")); ok {
+		t.Fatal("OriginOf resolved dark space")
+	}
+}
+
+func TestRoutedBlockOf(t *testing.T) {
+	tab := buildTable(t)
+	p, ok := tab.RoutedBlockOf(netaddr.MustParseAddr("10.1.2.3"))
+	if !ok || p != netaddr.MustParsePrefix("10.1.2.0/24") {
+		t.Fatalf("RoutedBlockOf = %v/%v", p, ok)
+	}
+}
+
+func TestReannounceOverwrites(t *testing.T) {
+	tab := NewTable()
+	p := netaddr.MustParsePrefix("10.0.0.0/8")
+	tab.Announce(p, 1)
+	tab.Announce(p, 2)
+	tab.Freeze()
+	if asn, _ := tab.OriginOf(netaddr.MustParseAddr("10.1.1.1")); asn != 2 {
+		t.Fatalf("origin = %d, want latest announcement 2", asn)
+	}
+	if tab.NumRoutes() != 1 {
+		t.Fatalf("NumRoutes = %d, want 1", tab.NumRoutes())
+	}
+	if tab.Routes()[0].Origin != 2 {
+		t.Fatal("Routes() not updated by re-announcement")
+	}
+}
+
+func TestAnnounceAfterFreezePanics(t *testing.T) {
+	tab := buildTable(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Announce after Freeze did not panic")
+		}
+	}()
+	tab.Announce(netaddr.MustParsePrefix("198.18.0.0/15"), 9)
+}
+
+func TestRoutesSorted(t *testing.T) {
+	tab := buildTable(t)
+	routes := tab.Routes()
+	for i := 1; i < len(routes); i++ {
+		if routes[i-1].Prefix.Compare(routes[i].Prefix) >= 0 {
+			t.Fatalf("routes not sorted: %v before %v", routes[i-1], routes[i])
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	tab := buildTable(t)
+	addrs := []netaddr.Addr{
+		netaddr.MustParseAddr("10.1.2.3"),    // block 10.1.2.0/24, AS300
+		netaddr.MustParseAddr("10.1.2.4"),    // same block
+		netaddr.MustParseAddr("10.1.3.1"),    // block 10.1.0.0/16, AS200
+		netaddr.MustParseAddr("10.9.9.9"),    // block 10.0.0.0/8, AS100
+		netaddr.MustParseAddr("203.0.113.1"), // unrouted
+	}
+	g := tab.Aggregate(addrs)
+	if g.Blocks != 3 || g.ASNs != 3 || g.Unrouted != 1 {
+		t.Fatalf("Aggregate = %+v", g)
+	}
+}
+
+func TestDefaultRouteMatchesEverything(t *testing.T) {
+	tab := NewTable()
+	tab.Announce(netaddr.MustParsePrefix("0.0.0.0/0"), 7)
+	tab.Freeze()
+	if asn, ok := tab.OriginOf(netaddr.MustParseAddr("255.255.255.255")); !ok || asn != 7 {
+		t.Fatal("default route did not match")
+	}
+}

@@ -1,0 +1,98 @@
+package scan
+
+import (
+	"io"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/pcap"
+)
+
+// WritePCAP persists a survey sample as a libpcap capture of the response
+// packets, re-framed exactly as they arrived at the prober: source = the
+// probed server, destination = the prober. This is the interchange format
+// the real OpenNTPProject shared its data in; core.AnalyzeSamplePCAP reads
+// it back (or reads a genuine scan capture).
+//
+// Rep-batched responses are expanded up to repLimit copies per datagram so
+// file sizes stay bounded; pass 1 to keep one packet per real datagram.
+func WritePCAP(w io.Writer, sample *Sample, prober netaddr.Addr, proberPort uint16, repLimit int) error {
+	pw := pcap.NewWriter(w)
+	if repLimit < 1 {
+		repLimit = 1
+	}
+	for _, target := range sortedTargets(sample) {
+		resp := sample.Responses[target]
+		ts := resp.First
+		if ts.IsZero() {
+			ts = sample.Date
+		}
+		for i, payload := range resp.Payloads {
+			dg := packet.NewDatagram(target, ntp.Port, prober, proberPort, payload)
+			if i < len(resp.TTLs) {
+				dg.IP.TTL = resp.TTLs[i]
+			}
+			raw, err := dg.Encode()
+			if err != nil {
+				return err
+			}
+			for c := 0; c < repLimit; c++ {
+				err := pw.WritePacket(pcap.Packet{
+					Timestamp: ts.Add(time.Duration(i*repLimit+c) * time.Millisecond),
+					Data:      raw,
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return pw.Flush()
+}
+
+func sortedTargets(sample *Sample) []netaddr.Addr {
+	s := netaddr.NewSet(len(sample.Responses))
+	for a := range sample.Responses {
+		s.Add(a)
+	}
+	return s.Sorted()
+}
+
+// ReadPCAP reconstructs a Sample from a capture of scan responses: every
+// UDP packet from source port 123 is attributed to its source address, the
+// way the prober correlates live traffic.
+func ReadPCAP(r io.Reader, kind string, date time.Time) (*Sample, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	sample := &Sample{Date: date, Kind: kind, Responses: make(map[netaddr.Addr]*Response)}
+	for {
+		p, err := pr.ReadPacket()
+		if err == io.EOF {
+			return sample, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		dg, err := packet.DecodeDatagram(p.Data)
+		if err != nil {
+			continue // non-IP noise in the capture
+		}
+		if dg.UDP.SrcPort != ntp.Port {
+			continue
+		}
+		resp, ok := sample.Responses[dg.IP.Src]
+		if !ok {
+			resp = &Response{Target: dg.IP.Src, First: p.Timestamp}
+			sample.Responses[dg.IP.Src] = resp
+		}
+		resp.Packets++
+		resp.Bytes += int64(dg.OnWire())
+		resp.Payloads = append(resp.Payloads, dg.Payload)
+		resp.TTLs = append(resp.TTLs, dg.IP.TTL)
+		resp.Last = p.Timestamp
+	}
+}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/netaddr"
+)
+
+func TestSampleAmpsDistinctAndComplete(t *testing.T) {
+	w := Build(TestConfig())
+	list := w.AmplifierList()
+	for _, k := range []int{1, 5, 50} {
+		got := w.sampleAmps(list, k)
+		if len(got) != k {
+			t.Fatalf("sampleAmps(%d) returned %d", k, len(got))
+		}
+		seen := map[netaddr.Addr]bool{}
+		for _, a := range got {
+			if seen[a] {
+				t.Fatalf("duplicate amplifier %v", a)
+			}
+			seen[a] = true
+		}
+	}
+	// Requesting more than available returns everything.
+	all := w.sampleAmps(list[:10], 50)
+	if len(all) != 10 {
+		t.Fatalf("over-request returned %d", len(all))
+	}
+}
+
+func TestSampleAmpsHeadSkew(t *testing.T) {
+	w := Build(TestConfig())
+	list := w.AmplifierList()
+	if len(list) < 200 {
+		t.Skip("world too small")
+	}
+	headHits, tailHits := 0, 0
+	for i := 0; i < 200; i++ {
+		for _, a := range w.sampleAmps(list, 5) {
+			idx := indexOf(list, a)
+			if idx < len(list)/10 {
+				headHits++
+			}
+			if idx > len(list)*9/10 {
+				tailHits++
+			}
+		}
+	}
+	if headHits <= tailHits*2 {
+		t.Fatalf("no head skew: head %d vs tail %d", headHits, tailHits)
+	}
+}
+
+func indexOf(list []netaddr.Addr, a netaddr.Addr) int {
+	for i, v := range list {
+		if v == a {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestRefreshFavoritesBounded(t *testing.T) {
+	w := Build(TestConfig())
+	w.refreshFavorites()
+	pool := w.NumAmplifiers()
+	want := pool / 12
+	if want < 30 {
+		want = 30
+	}
+	if len(w.favorites) != want {
+		t.Fatalf("favorites = %d, want %d", len(w.favorites), want)
+	}
+	for _, a := range w.favorites {
+		if _, ok := w.amplifiers[a]; !ok {
+			t.Fatalf("favorite %v not in the pool", a)
+		}
+	}
+}
+
+func TestPickVictimEndHostDrift(t *testing.T) {
+	w := Build(TestConfig())
+	countEnd := func(at time.Time, n int) float64 {
+		end := 0
+		for i := 0; i < n; i++ {
+			if w.pickVictim(at).endHost {
+				end++
+			}
+		}
+		return float64(end) / float64(n)
+	}
+	early := countEnd(ONPStart, 3000)
+	late := countEnd(ONPStart.AddDate(0, 0, 10*7), 3000)
+	if late <= early {
+		t.Fatalf("end-host victim share did not drift up: %.2f -> %.2f (paper 31%%->50%%)", early, late)
+	}
+}
+
+func TestScaledClampsToOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 1_000_000_000
+	if cfg.scaled(9) != 1 {
+		t.Fatalf("scaled(9) = %d at huge scale, want 1", cfg.scaled(9))
+	}
+	if cfg.scaled(0) != 0 {
+		t.Fatal("scaled(0) must stay 0")
+	}
+}
+
+func TestExtractedCompileProfileBounds(t *testing.T) {
+	w := Build(TestConfig())
+	for i := 0; i < 100; i++ {
+		n := w.extraVarBytes()
+		if n < 0 || n > 6000 {
+			t.Fatalf("extraVarBytes = %d", n)
+		}
+		c := w.drawClientTableSize()
+		if c < 1 || c > 590 {
+			t.Fatalf("clientTableSize = %d", c)
+		}
+	}
+}
+
+func TestDHCPChurnPreservesPoolSize(t *testing.T) {
+	w := Build(TestConfig())
+	before := w.NumAmplifiers()
+	w.applyDHCPChurn()
+	after := w.NumAmplifiers()
+	// Churn re-addresses end hosts; a handful of collisions may shrink the
+	// pool slightly, but never substantially, and never grow it.
+	if after > before || after < before-before/20 {
+		t.Fatalf("churn changed pool %d -> %d", before, after)
+	}
+}
+
+func TestNoRemediationKeepsPool(t *testing.T) {
+	cfg := TestConfig()
+	cfg.NoRemediation = true
+	w := Build(cfg)
+	before := w.NumAmplifiers()
+	for i := 0; i < 5; i++ {
+		w.applyWeeklyRemediation(i)
+	}
+	after := w.NumAmplifiers()
+	if after < before {
+		t.Fatalf("NoRemediation world shrank: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,270 @@
+// Package scenario builds and drives the calibrated synthetic Internet over
+// the paper's measurement window (September 2013 through May 2014). The
+// generative parameters — population sizes, remediation curves, attack
+// adoption fractions, OS/port distributions — are taken from the paper's
+// own reported statistics (they are properties of the 2014 Internet, not
+// derivable from first principles); everything downstream of those inputs
+// (tables disclosed by daemons, packets on the fabric, survey captures,
+// analysis outputs) is mechanistic.
+//
+// Scale model: populations (amplifiers, servers, victims, resolvers) are
+// divided by Config.Scale; reported counts are re-inflated by the same
+// factor at experiment time. Per-host behaviour (monitor tables, packets,
+// BAFs) is exact at any scale. Real-world quantities that are not
+// populations — attack sizes in Gbps, global traffic fractions — are
+// modeled at real scale directly.
+package scenario
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"ntpddos/internal/asdb"
+	"ntpddos/internal/attack"
+	"ntpddos/internal/darknet"
+	"ntpddos/internal/ispview"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/netsim"
+	"ntpddos/internal/ntpd"
+	"ntpddos/internal/pbl"
+	"ntpddos/internal/rng"
+	"ntpddos/internal/telemetry"
+	"ntpddos/internal/vtime"
+)
+
+// Config sizes and seeds a run.
+type Config struct {
+	Seed uint64
+	// Scale divides every global population. 100 is the benchmark default;
+	// tests use 500–2000; 1 is a full-size (slow, memory-heavy) world.
+	Scale int
+
+	Start time.Time
+	End   time.Time
+
+	// Real-world (unscaled) population calibration, from the paper.
+	InitialAmplifiers int // monlist pool at the first ONP sample (1.4M)
+	TotalNTPServers   int // global NTP population (~6M)
+	Mode6Responders   int // version pool (~4M, barely shrinking)
+	OpenDNSResolvers  int // open resolver pool (~33.9M)
+	MegaAmplifiers    int // moderate megas, >100KB responders (~10K)
+	ExtremeMegas      int // the nine §3.4 multi-GB repeaters (absolute)
+	UniqueVictims     int // victim IPs over the window (~437K)
+
+	// NumASes for the generated registry (scaled world).
+	NumASes int
+
+	// MonthlyAttacks is the global DDoS attack rate (~300K/month), used for
+	// Figure 2's denominators; only NTP-vector attacks touch the fabric.
+	MonthlyAttacks int
+	// FabricAttackDivisor additionally thins the NTP campaigns that run on
+	// the fabric (they are the expensive part); Figure 2 bookkeeping still
+	// uses full counts.
+	FabricAttackDivisor int
+
+	// NoRemediation disables the §6 community response entirely (global
+	// patching, site schedules still run): the counterfactual world the
+	// ablation benchmarks compare against.
+	NoRemediation bool
+
+	// PCAPDir, when set, persists every weekly monlist sample as a libpcap
+	// file (monlist-YYYY-MM-DD.pcap) in that directory — the dataset
+	// interchange format; cmd/onpdump re-analyses the files.
+	PCAPDir string
+}
+
+// DefaultConfig is the benchmark configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:  1,
+		Scale: 100,
+		Start: vtime.Epoch, // 2013-09-01
+		End:   time.Date(2014, 5, 1, 0, 0, 0, 0, time.UTC),
+
+		InitialAmplifiers: 1_405_000,
+		TotalNTPServers:   6_000_000,
+		Mode6Responders:   4_000_000,
+		OpenDNSResolvers:  33_900_000,
+		MegaAmplifiers:    10_000,
+		ExtremeMegas:      9,
+		UniqueVictims:     437_000,
+
+		NumASes:             1500,
+		MonthlyAttacks:      300_000,
+		FabricAttackDivisor: 1,
+	}
+}
+
+// TestConfig returns a small, fast world for tests.
+func TestConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 2000
+	c.NumASes = 250
+	c.FabricAttackDivisor = 4
+	return c
+}
+
+// scaled converts a real-world population to world size.
+func (c Config) scaled(n int) int {
+	s := n / c.Scale
+	if s < 1 && n > 0 {
+		s = 1
+	}
+	return s
+}
+
+// server bundles a daemon with its placement metadata.
+type server struct {
+	srv *ntpd.Server
+	as  *asdb.AS
+	// batch groups professionally-managed servers that get patched
+	// together; end hosts are their own batch.
+	batch int
+	// endHost marks PBL-space placement.
+	endHost bool
+	// onlyOldImpl marks daemons answering only the implementation value the
+	// ONP scanner does not send (the §3.1 blind spot).
+	onlyOldImpl bool
+	// clientTableSize is the daemon's steady-state monitor-table occupancy
+	// from honest NTP clients (paper: median 6, mean 70).
+	clientTableSize int
+	// site names the §7 regional network ("Merit", "CSU", "FRGP") for
+	// locally-managed amplifiers, which follow explicit remediation
+	// schedules instead of the global hazard model.
+	site string
+}
+
+// World is the fully built simulation.
+type World struct {
+	Cfg   Config
+	Clock *vtime.Clock
+	Sched *vtime.Scheduler
+	Net   *netsim.Network
+	Src   *rng.Source
+
+	DB  *asdb.DB
+	PBL *pbl.List
+
+	// Servers maps every NTP daemon by address (amplifiers and plain).
+	Servers map[netaddr.Addr]*server
+	// amplifiers is the current monlist-answering subset.
+	amplifiers map[netaddr.Addr]*server
+	batches    map[int][]*server
+	nextBatch  int
+
+	// DNSPool is the open-resolver address set (not registered as hosts at
+	// global scale; used for pool-size and overlap analyses).
+	DNSPool netaddr.Set
+
+	Telescope *darknet.Telescope
+	Collector *telemetry.Collector
+	Views     map[string]*ispview.View
+	Engine    *attack.Engine
+
+	ONPAddr          netaddr.Addr
+	MeritAmps        []netaddr.Addr
+	CSUAmps          []netaddr.Addr
+	FRGPAmps         []netaddr.Addr
+	MegaAddrs        netaddr.Set
+	ExtremeMegaAddrs []netaddr.Addr
+	victimPool       []victimSpec
+	victimZipf       *rand.Zipf
+	botAddrs         []netaddr.Addr
+	researchIPs      []netaddr.Addr
+	maliciousIPs     []netaddr.Addr
+
+	// infraASPool and endASPool hold the ASes already hosting amplifier
+	// batches; reusing them concentrates the pool the way the real one was
+	// (1.4M amplifiers across only 15K origin ASes, ~4 blocks per AS).
+	infraASPool []*asdb.AS
+	endASPool   []*asdb.AS
+
+	// asPoolFrozen marks the end of world construction: subsequent arrival
+	// batches nearly always land in already-vulnerable ASes.
+	asPoolFrozen bool
+
+	// favorites is the booter ecosystem's shared working set of harvested
+	// amplifiers: attacks draw from this bounded list, not the whole pool.
+	// The median amplifier is therefore never abused (its monitor table
+	// holds only honest clients — the paper's median of 6 entries), while
+	// favorites accumulate fat victim tables and dominate Figure 5's
+	// amplifier-AS concentration.
+	favorites []netaddr.Addr
+}
+
+type victimSpec struct {
+	addr    netaddr.Addr
+	endHost bool
+}
+
+// NumAmplifiers returns the current (scaled) monlist pool size.
+func (w *World) NumAmplifiers() int { return len(w.amplifiers) }
+
+// AmplifierSet snapshots the current amplifier addresses.
+func (w *World) AmplifierSet() netaddr.Set {
+	s := netaddr.NewSet(len(w.amplifiers))
+	for a := range w.amplifiers {
+		s.Add(a)
+	}
+	return s
+}
+
+// AmplifierList snapshots the current amplifier addresses as a sorted slice
+// (attacker's harvested list).
+func (w *World) AmplifierList() []netaddr.Addr {
+	return w.AmplifierSet().Sorted()
+}
+
+// Build constructs the world: registry, PBL, server population, local ISP
+// views, darknet, attack engine.
+func Build(cfg Config) *World {
+	src := rng.New(cfg.Seed)
+	clock := &vtime.Clock{}
+	sched := vtime.NewScheduler(clock)
+
+	db := asdb.Build(src.Fork("asdb"), asdb.Config{NumASes: cfg.NumASes, SpooferFraction: 0.25})
+	pl := pbl.Derive(db, src.Fork("pbl"), pbl.DefaultConfig())
+
+	policy := func(origin, claimed netaddr.Addr) bool {
+		as := db.OwnerOf(origin)
+		return as == nil || as.AllowsSpoofing
+	}
+	nw := netsim.New(sched, policy)
+
+	w := &World{
+		Cfg: cfg, Clock: clock, Sched: sched, Net: nw,
+		Src: src, DB: db, PBL: pl,
+		Servers:    make(map[netaddr.Addr]*server),
+		amplifiers: make(map[netaddr.Addr]*server),
+		batches:    make(map[int][]*server),
+		DNSPool:    netaddr.NewSet(0),
+		Collector:  telemetry.New(),
+		Views:      make(map[string]*ispview.View),
+		MegaAddrs:  netaddr.NewSet(0),
+		ONPAddr:    netaddr.MustParseAddr("198.108.60.10"), // inside Merit space
+	}
+
+	w.Telescope = darknet.New(db.DarknetPrefix, 0.75)
+	nw.AddTap(w.Telescope)
+
+	merit := db.ByName(asdb.NameMerit)
+	csu := db.ByName(asdb.NameCSU)
+	frgp := db.ByName(asdb.NameFRGP)
+	w.Views["Merit"] = ispview.New("Merit", db, merit)
+	w.Views["CSU"] = ispview.New("CSU", db, csu)
+	w.Views["FRGP"] = ispview.New("FRGP", db, frgp, csu)
+	for _, v := range w.Views {
+		nw.AddTap(v)
+	}
+
+	w.buildServers()
+	w.buildLocalAmplifiers(merit, csu, frgp)
+	w.buildVictims()
+	w.victimZipf = src.Zipf(1.06, uint64(len(w.victimPool)))
+	w.buildAttackers()
+	w.buildDNSPool()
+
+	w.Engine = attack.NewEngine(nw, src.Fork("attack"), w.botAddrs)
+	w.asPoolFrozen = true
+	return w
+}

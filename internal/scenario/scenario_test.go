@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/core"
+	"ntpddos/internal/vtime"
+)
+
+// runOnce caches one full test-scale run for all tests in this package.
+var cachedResults *Results
+
+func results(t *testing.T) *Results {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("scenario run skipped in -short mode")
+	}
+	if cachedResults == nil {
+		cachedResults = Run(TestConfig())
+	}
+	return cachedResults
+}
+
+func TestBuildPopulations(t *testing.T) {
+	cfg := TestConfig()
+	w := Build(cfg)
+	wantAmps := int(float64(cfg.scaled(cfg.InitialAmplifiers)) / (1 - oldImplFraction))
+	got := w.NumAmplifiers()
+	// Local-site amplifiers (107) and the nine extreme megas add on top.
+	if got < wantAmps || got > wantAmps+150 {
+		t.Fatalf("built %d amplifiers, want ≈%d", got, wantAmps)
+	}
+	if len(w.MeritAmps) != 50 || len(w.CSUAmps) != 9 || len(w.FRGPAmps) != 48 {
+		t.Fatalf("site amps = %d/%d/%d, want 50/9/48",
+			len(w.MeritAmps), len(w.CSUAmps), len(w.FRGPAmps))
+	}
+	if w.DNSPool.Len() < cfg.scaled(cfg.OpenDNSResolvers)*9/10 {
+		t.Fatalf("DNS pool = %d", w.DNSPool.Len())
+	}
+	// The pool holds a third of the distinct-victim target; sibling
+	// expansion at attack time contributes the rest.
+	if len(w.victimPool) < cfg.scaled(cfg.UniqueVictims)/3*9/10 {
+		t.Fatalf("victim pool = %d", len(w.victimPool))
+	}
+	if len(w.botAddrs) == 0 {
+		t.Fatal("no bots")
+	}
+}
+
+func TestRunProducesAllSamples(t *testing.T) {
+	res := results(t)
+	if len(res.MonlistAnalyses) != 15 {
+		t.Fatalf("monlist samples = %d, want 15", len(res.MonlistAnalyses))
+	}
+	if len(res.VersionAnalyses) != 9 {
+		t.Fatalf("version samples = %d, want 9", len(res.VersionAnalyses))
+	}
+	if res.VersionCensus == nil || res.VersionCensus.Total == 0 {
+		t.Fatal("no version census")
+	}
+}
+
+func TestAmplifierDeclineShape(t *testing.T) {
+	res := results(t)
+	first := len(res.MonlistAnalyses[0].Amps)
+	last := len(res.MonlistAnalyses[len(res.MonlistAnalyses)-1].Amps)
+	if first == 0 {
+		t.Fatal("first sample saw no amplifiers")
+	}
+	ratio := float64(last) / float64(first)
+	// The paper: 1.4M -> 106K, a 92% reduction.
+	if ratio > 0.15 {
+		t.Fatalf("amplifier pool only declined to %.0f%% of first sample", ratio*100)
+	}
+	// Version pool barely declines (§3.3: -19%).
+	vFirst, vLast := res.VersionPools[0], res.VersionPools[len(res.VersionPools)-1]
+	vRatio := float64(vLast) / float64(vFirst)
+	if vRatio < 0.70 || vRatio > 1.0 {
+		t.Fatalf("version pool ratio = %.2f, want ≈0.81", vRatio)
+	}
+}
+
+func TestVictimsObserved(t *testing.T) {
+	res := results(t)
+	total := 0
+	for _, a := range res.MonlistAnalyses {
+		total += a.VictimSet().Len()
+	}
+	if total == 0 {
+		t.Fatal("no victims observed in any sample")
+	}
+	vol := core.AggregateVolume(res.MonlistAnalyses, 420)
+	if vol.TotalPackets == 0 || vol.UniqueVictims == 0 {
+		t.Fatalf("volume = %+v", vol)
+	}
+}
+
+func TestDarknetOnset(t *testing.T) {
+	res := results(t)
+	scope := res.World.Telescope
+	nov := scope.NTPPackets.At(time.Date(2013, 11, 5, 0, 0, 0, 0, time.UTC))
+	march := scope.NTPPackets.At(time.Date(2014, 3, 5, 0, 0, 0, 0, time.UTC))
+	if march < nov*5 {
+		t.Fatalf("darknet NTP volume did not surge: Nov=%v Mar=%v", nov, march)
+	}
+	// Scanner uniques must ramp after mid-December (Figure 9).
+	before := scope.ScannersOn(time.Date(2013, 12, 1, 0, 0, 0, 0, time.UTC))
+	after := scope.ScannersOn(time.Date(2014, 2, 15, 0, 0, 0, 0, time.UTC))
+	if after <= before {
+		t.Fatalf("scanner onset missing: before=%d after=%d", before, after)
+	}
+}
+
+func TestLocalViewsSeeAttacks(t *testing.T) {
+	res := results(t)
+	merit := res.World.Views["Merit"]
+	if _, ok := merit.EgressNTP.Max(); !ok {
+		t.Fatal("Merit saw no NTP egress")
+	}
+	if len(merit.Victims()) == 0 {
+		t.Fatal("Merit saw no victims")
+	}
+	if len(merit.Amplifiers()) == 0 {
+		t.Fatal("Merit saw no local amplifiers")
+	}
+	frgp := res.World.Views["FRGP"]
+	if _, ok := frgp.IngressNTP.Max(); !ok {
+		t.Fatal("FRGP saw no NTP ingress (the Feb 10 spike)")
+	}
+}
+
+func TestTelemetryShape(t *testing.T) {
+	res := results(t)
+	col := res.World.Collector
+	peak, ok := col.PeakNTPDay()
+	if !ok {
+		t.Fatal("no NTP traffic recorded")
+	}
+	// Peak must fall in February (the 11th ± slack) and be orders of
+	// magnitude above the 1e-5 baseline.
+	if peak.Day.Month() != time.February {
+		t.Fatalf("peak NTP day = %v, want February", peak.Day)
+	}
+	if peak.Fraction < 1e-3 {
+		t.Fatalf("peak NTP fraction = %v, want >= 0.1%%", peak.Fraction)
+	}
+	rows := col.AttackFractions()
+	if len(rows) < 6 {
+		t.Fatalf("attack fraction months = %d", len(rows))
+	}
+	// February: medium-and-large attacks dominated by NTP (Figure 2's 0.63
+	// and 0.70 bars). At test scale only ~15 such attacks exist per month,
+	// so assert on the medium class (larger n) and the overall fraction.
+	for _, r := range rows {
+		if r.Month.Equal(time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC)) {
+			if r.Medium < 0.3 {
+				t.Fatalf("Feb medium NTP fraction = %.2f, want ≈0.63", r.Medium)
+			}
+			if r.All > 0.4 || r.All < 0.05 {
+				t.Fatalf("Feb overall NTP fraction = %.2f, want ≈0.18", r.All)
+			}
+		}
+	}
+}
+
+func TestAttackRateCurve(t *testing.T) {
+	peak := AttackRateAt(time.Date(2014, 2, 11, 0, 0, 0, 0, time.UTC))
+	if peak != 4000 {
+		t.Fatalf("peak rate = %v", peak)
+	}
+	nov := AttackRateAt(time.Date(2013, 11, 15, 0, 0, 0, 0, time.UTC))
+	if nov > 10 {
+		t.Fatalf("November rate = %v, want near zero", nov)
+	}
+	if AttackRateAt(vtime.Epoch) != 0 {
+		t.Fatal("epoch rate must be 0")
+	}
+	if AttackRateAt(time.Date(2014, 6, 1, 0, 0, 0, 0, time.UTC)) != 280 {
+		t.Fatal("post-window rate must clamp to the last point")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check skipped in -short mode")
+	}
+	cfg := TestConfig()
+	cfg.End = time.Date(2014, 1, 20, 0, 0, 0, 0, time.UTC) // short window
+	a := Run(cfg)
+	b := Run(cfg)
+	if len(a.MonlistAnalyses) != len(b.MonlistAnalyses) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range a.MonlistAnalyses {
+		if len(a.MonlistAnalyses[i].Amps) != len(b.MonlistAnalyses[i].Amps) {
+			t.Fatalf("sample %d amplifier counts differ", i)
+		}
+		if len(a.MonlistAnalyses[i].Victims) != len(b.MonlistAnalyses[i].Victims) {
+			t.Fatalf("sample %d victim counts differ", i)
+		}
+	}
+	if a.World.Net.Stats() != b.World.Net.Stats() {
+		t.Fatalf("fabric stats differ:\n%+v\n%+v", a.World.Net.Stats(), b.World.Net.Stats())
+	}
+}

@@ -1,0 +1,179 @@
+// Package vtime provides a virtual clock and a discrete-event scheduler.
+//
+// The entire simulation runs on virtual time: no component of the library
+// reads the wall clock. This makes every experiment deterministic and lets a
+// six-month measurement campaign (November 2013 through May 2014, the window
+// the paper studies) execute in seconds.
+//
+// The zero-configuration Clock starts at Epoch (2013-09-01 00:00 UTC), two
+// months before the paper's first Arbor sample, so darknet baselines exist
+// before the NTP phenomenon begins.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Epoch is the instant at which a zero-value Clock starts: 2013-09-01 UTC.
+// The paper's datasets begin 2013-11-01 (Arbor), 2013-09 (darknet), and
+// 2014-01-10 (ONP); starting two months before the Arbor window gives every
+// collector a quiescent baseline.
+var Epoch = time.Date(2013, time.September, 1, 0, 0, 0, 0, time.UTC)
+
+// Clock is a virtual clock. The zero value is ready to use and reads Epoch.
+// Clock is not safe for concurrent use; the simulation is single-threaded by
+// design (determinism beats parallelism for a reproduction harness).
+type Clock struct {
+	offset time.Duration // elapsed virtual time since Epoch
+}
+
+// Now returns the current virtual instant.
+func (c *Clock) Now() time.Time { return Epoch.Add(c.offset) }
+
+// Elapsed returns the virtual time elapsed since Epoch.
+func (c *Clock) Elapsed() time.Duration { return c.offset }
+
+// Advance moves the clock forward by d. Advancing by a negative duration
+// panics: virtual time, like real time, is monotonic.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("vtime: cannot advance clock backwards")
+	}
+	c.offset += d
+}
+
+// AdvanceTo moves the clock forward to instant t. Moving backwards panics.
+func (c *Clock) AdvanceTo(t time.Time) {
+	d := t.Sub(c.Now())
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: AdvanceTo(%v) is before now (%v)", t, c.Now()))
+	}
+	c.offset += d
+}
+
+// event is a scheduled callback.
+type event struct {
+	at   time.Time
+	atNs int64  // at as nanoseconds since Epoch: cheap heap comparisons
+	seq  uint64 // tie-break so same-instant events run in schedule order
+	fn   func(now time.Time)
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].atNs != q[j].atNs {
+		return q[i].atNs < q[j].atNs
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event executor bound to a Clock. Events scheduled
+// for the same instant run in the order they were scheduled. The zero value
+// is not usable; construct with NewScheduler.
+type Scheduler struct {
+	clock *Clock
+	queue eventQueue
+	seq   uint64
+}
+
+// NewScheduler returns a Scheduler driving the given clock.
+func NewScheduler(c *Clock) *Scheduler {
+	return &Scheduler{clock: c}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// At schedules fn to run at instant t. Scheduling in the past panics:
+// a simulation that silently reorders causality produces wrong measurements.
+func (s *Scheduler) At(t time.Time, fn func(now time.Time)) {
+	if t.Before(s.clock.Now()) {
+		panic(fmt.Sprintf("vtime: scheduling at %v, before now %v", t, s.clock.Now()))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, atNs: int64(t.Sub(Epoch)), seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d time.Duration, fn func(now time.Time)) {
+	s.At(s.clock.Now().Add(d), fn)
+}
+
+// Every schedules fn to run every interval, starting at start, until (and
+// excluding) end. The callback may itself schedule further events.
+func (s *Scheduler) Every(start time.Time, interval time.Duration, end time.Time, fn func(now time.Time)) {
+	if interval <= 0 {
+		panic("vtime: Every requires a positive interval")
+	}
+	for t := start; t.Before(end); t = t.Add(interval) {
+		s.At(t, fn)
+	}
+}
+
+// Pending reports the number of events waiting to run.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// RunUntil executes all events scheduled strictly before end, advancing the
+// clock to each event's instant, then advances the clock to end. It returns
+// the number of events executed.
+func (s *Scheduler) RunUntil(end time.Time) int {
+	ran := 0
+	for len(s.queue) > 0 && s.queue[0].at.Before(end) {
+		e := heap.Pop(&s.queue).(*event)
+		s.clock.AdvanceTo(e.at)
+		e.fn(e.at)
+		ran++
+	}
+	if end.After(s.clock.Now()) {
+		s.clock.AdvanceTo(end)
+	}
+	return ran
+}
+
+// Drain executes every pending event regardless of time, advancing the clock
+// along the way. It returns the number of events executed.
+func (s *Scheduler) Drain() int {
+	ran := 0
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		s.clock.AdvanceTo(e.at)
+		e.fn(e.at)
+		ran++
+	}
+	return ran
+}
+
+// Day truncates t to midnight UTC — the bucketing unit for daily series such
+// as the paper's Figure 1 traffic fractions.
+func Day(t time.Time) time.Time {
+	y, m, d := t.UTC().Date()
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Month truncates t to the first of its month UTC — the bucketing unit for
+// monthly series such as Figures 2 and 8.
+func Month(t time.Time) time.Time {
+	y, m, _ := t.UTC().Date()
+	return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Hour truncates t to the top of its hour UTC — the bucketing unit for the
+// attacks-per-hour series in Figure 7.
+func Hour(t time.Time) time.Time {
+	return t.UTC().Truncate(time.Hour)
+}
