@@ -46,7 +46,7 @@ func main() {
 			"table1v", "table2", "table3", "fig5", "table4", "fig6", "fig7",
 			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 			"fig15", "fig16", "table5", "table6", "churn", "volume",
-			"remediation", "dnsoverlap", "ttl", "mega",
+			"remediation", "dnsoverlap", "ttl", "mega", "honeypot", "hpconv",
 		} {
 			fmt.Println(id)
 		}

@@ -1,0 +1,46 @@
+package ntpddos
+
+import (
+	"testing"
+
+	"ntpddos/internal/report"
+)
+
+// TestSeedDeterminism runs a small full-window world twice with the same
+// seed and requires byte-identical report digests — pinning every subsystem
+// (population build, attack schedule, surveys, honeypot fleet, analyses) to
+// deterministic draws. Any code path that consumes randomness out of order,
+// iterates a map into output, or reads the wall clock breaks this test.
+func TestSeedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+
+	run := func() (string, *Simulation) {
+		s := Run(cfg)
+		return report.Digest(s.All()), s
+	}
+	d1, s1 := run()
+	d2, _ := run()
+	if d1 != d2 {
+		t.Fatalf("same seed, different digests:\n  %s\n  %s", d1, d2)
+	}
+	// The pinned run must include live honeypot detections, so the digest
+	// actually covers the event pipeline rather than an empty table.
+	hp := s1.Results().Honeypot
+	if hp == nil || len(hp.Events) == 0 {
+		t.Fatal("determinism run produced no honeypot events")
+	}
+
+	// A different seed must change the output (guards against the digest
+	// accidentally hashing only static content).
+	cfg.Seed = 99
+	d3, _ := run()
+	if d3 == d1 {
+		t.Fatal("different seed produced an identical digest")
+	}
+}

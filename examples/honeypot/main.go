@@ -1,0 +1,45 @@
+// Honeypot: a ten-sensor amplification-honeypot fleet watching the attack
+// fabric from inside the amplifier population, the way AmpPot did. Sensors
+// sit on routed-but-unpopulated addresses, answer monlist like a vulnerable
+// ntpd (with rate limiting), and turn the spoofed triggers they receive
+// into attack events — which this example validates against the launched
+// campaigns the simulator actually knows about.
+//
+//	go run ./examples/honeypot
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ntpddos/internal/scenario"
+)
+
+func main() {
+	cfg := scenario.TestConfig()
+	cfg.HoneypotSensors = 10
+
+	fmt.Fprintln(os.Stderr, "honeypot: running the measurement window with a 10-sensor fleet...")
+	res := scenario.Run(cfg)
+	hp := res.Honeypot
+
+	fmt.Printf("ground truth: %d campaigns launched against the fleet's view\n", hp.Validation.Campaigns)
+	fmt.Printf("detected:     %d attack events, matching %d campaigns (%.0f%% detection)\n",
+		len(hp.Events), hp.Validation.Detected, 100*hp.Validation.DetectionRate())
+	fmt.Printf("false alarms: %d events with no matching campaign\n", len(hp.Validation.UnmatchedEvents))
+	fmt.Printf("scanners:     %d sources classified scanner-like and suppressed\n", len(hp.ScannerSources))
+	fmt.Printf("fleet load:   %d queries, %d replies sent, %d rate-limited\n\n",
+		hp.QueriesSeen, hp.RepliesSent, hp.RepliesSuppressed)
+
+	fmt.Printf("%-5s %-18s %-6s %9s %8s %7s\n", "event", "victim", "port", "duration", "packets", "sensors")
+	for i, e := range hp.Events {
+		fmt.Printf("%-5d %-18s %-6d %8.0fm %8d %7d\n",
+			i+1, e.Victim, e.Port, e.Duration().Minutes(), e.Packets, len(e.Sensors))
+	}
+
+	fmt.Println("\nconvergence: fraction of campaigns seen by the first k sensors")
+	for k, frac := range hp.Convergence {
+		fmt.Printf("  k=%-3d %5.1f%%\n", k+1, 100*frac)
+	}
+	fmt.Println("a handful of sensors already sees most campaigns — attackers spray their amplifier lists (cf. AmpPot, RAID 2015)")
+}

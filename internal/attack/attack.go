@@ -134,6 +134,15 @@ type Engine struct {
 	// OnLaunch, if set, is called once per launched campaign (telemetry).
 	OnLaunch func(Campaign)
 
+	// Reflectors are extra always-responsive amplifiers (honeypot sensors)
+	// that scanners harvested into booter lists. Each campaign includes each
+	// reflector independently with probability ReflectorProb, drawn from
+	// ReflectorSrc — a stream separate from Source so deploying a honeypot
+	// fleet never perturbs the campaign schedule itself.
+	Reflectors    []netaddr.Addr
+	ReflectorProb float64
+	ReflectorSrc  *rng.Source
+
 	// TriggersSent counts Rep-weighted spoofed packets emitted.
 	TriggersSent int64
 	// TriggersBlocked counts triggers dropped by BCP38 at bot networks.
@@ -161,8 +170,30 @@ func (e *Engine) Launch(c Campaign) {
 	}
 	sched := e.Network.Scheduler()
 
+	// Priming runs against the attacker-supplied list only (and before
+	// reflector injection, so its Source draw sequence is independent of
+	// whether a honeypot fleet is deployed): honeypot tables are synthetic
+	// bait and need no warming.
 	if c.PrimeSources > 0 {
 		e.prime(c)
+	}
+
+	if len(e.Reflectors) > 0 && e.ReflectorProb > 0 && e.ReflectorSrc != nil {
+		var picked []netaddr.Addr
+		for _, r := range e.Reflectors {
+			if e.ReflectorSrc.Bool(e.ReflectorProb) {
+				picked = append(picked, r)
+			}
+		}
+		if len(picked) > 0 {
+			// A fresh merged slice: callers share amplifier arrays across
+			// campaigns, so appending in place would leak sensors between
+			// launches.
+			merged := make([]netaddr.Addr, 0, len(c.Amplifiers)+len(picked))
+			merged = append(merged, c.Amplifiers...)
+			merged = append(merged, picked...)
+			c.Amplifiers = merged
+		}
 	}
 
 	interval := e.TriggerInterval

@@ -36,7 +36,15 @@ type Telescope struct {
 	// the Figure 9 series.
 	scannersByDay map[time.Time]netaddr.Set
 	allScanners   netaddr.Set
+	// sourceBins is each source's dark-space footprint, bucketed by hashed
+	// /24, feeding the UniformityScore scanner heuristic.
+	sourceBins map[netaddr.Addr]*[scanBins]float64
 }
+
+// scanBins is the footprint resolution: enough buckets to separate broad
+// sweeps (even coverage) from targeted bursts, small enough to stay cheap
+// per source.
+const scanBins = 16
 
 // New builds a telescope over prefix with the given /24 coverage fraction.
 func New(prefix netaddr.Prefix, coverage float64) *Telescope {
@@ -48,6 +56,7 @@ func New(prefix netaddr.Prefix, coverage float64) *Telescope {
 		BenignNTPPackets: stats.NewTimeSeries(vtime.Epoch, 30*24*time.Hour),
 		scannersByDay:    make(map[time.Time]netaddr.Set),
 		allScanners:      netaddr.NewSet(0),
+		sourceBins:       make(map[netaddr.Addr]*[scanBins]float64),
 	}
 }
 
@@ -94,6 +103,37 @@ func (t *Telescope) Observe(dg *packet.Datagram, now time.Time) {
 	}
 	s.Add(dg.IP.Src)
 	t.allScanners.Add(dg.IP.Src)
+
+	bins, ok := t.sourceBins[dg.IP.Src]
+	if !ok {
+		bins = new([scanBins]float64)
+		t.sourceBins[dg.IP.Src] = bins
+	}
+	bins[int(uint64(dg.IP.Dst>>8)*0x9e3779b97f4a7c15>>60)] += float64(rep)
+}
+
+// SourceSpread returns a source's per-bin dark-space hit profile (hashed
+// /24 buckets) — the input to the UniformityScore heuristic.
+func (t *Telescope) SourceSpread(src netaddr.Addr) ([]float64, bool) {
+	bins, ok := t.sourceBins[src]
+	if !ok {
+		return nil, false
+	}
+	return bins[:], true
+}
+
+// ScannerLikeSources counts sources whose dark-space footprint passes the
+// ScannerLike heuristic: broad, even coverage of the telescope's space.
+// Sweeps touching most of dark space (research surveys, full list-building
+// passes) qualify; small targeted bursts do not.
+func (t *Telescope) ScannerLikeSources(minScore float64) int {
+	n := 0
+	for _, bins := range t.sourceBins {
+		if ScannerLike(bins[:], scanBins/2, minScore) {
+			n++
+		}
+	}
+	return n
 }
 
 // EffectiveDark24s returns the number of /24-equivalents the telescope

@@ -1,0 +1,247 @@
+package honeypot
+
+import (
+	"sort"
+	"time"
+
+	"ntpddos/internal/attack"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/vtime"
+)
+
+// MatchSlack pads campaign windows when joining events against ground
+// truth, absorbing path latency and trigger batching.
+const MatchSlack = 10 * time.Minute
+
+// Validation joins detected events against the attack engine's ground-truth
+// campaign log.
+type Validation struct {
+	// Campaigns is the ground-truth count; Detected of them matched at
+	// least one event on (victim, port) with overlapping time.
+	Campaigns int
+	Detected  int
+	// CampaignSensors holds, per ground-truth campaign, the sorted sensor
+	// indices that observed it (empty when undetected) — the convergence
+	// analysis input.
+	CampaignSensors [][]int
+	// MatchedEvents / UnmatchedEvents partition the event list. Unmatched
+	// events have no ground-truth campaign: scan-only traffic misdetected as
+	// an attack would land here, so the scenario asserts it stays empty.
+	MatchedEvents   int
+	UnmatchedEvents []*Event
+	// MergedCampaigns counts campaigns that shared their matched event with
+	// another campaign — distinct flow-level attacks a honeypot vantage
+	// reports as one (the honeypot-vs-flow disagreement).
+	MergedCampaigns int
+}
+
+// DetectionRate returns the fraction of ground-truth campaigns detected.
+func (v *Validation) DetectionRate() float64 {
+	if v.Campaigns == 0 {
+		return 0
+	}
+	return float64(v.Detected) / float64(v.Campaigns)
+}
+
+// Validate joins events against launched campaigns.
+func Validate(events []*Event, truth []attack.Campaign) *Validation {
+	byKey := make(map[flowKey][]*Event, len(events))
+	for _, e := range events {
+		k := flowKey{addr: e.Victim, port: e.Port}
+		byKey[k] = append(byKey[k], e)
+	}
+	v := &Validation{Campaigns: len(truth)}
+	matched := make(map[*Event]int, len(events))
+	for _, c := range truth {
+		var sensors map[int]struct{}
+		hitShared := false
+		for _, e := range byKey[flowKey{addr: c.Victim, port: c.Port}] {
+			if e.First.After(c.Start.Add(c.Duration).Add(MatchSlack)) ||
+				e.Last.Before(c.Start.Add(-MatchSlack)) {
+				continue
+			}
+			if matched[e] > 0 {
+				hitShared = true
+			}
+			matched[e]++
+			if sensors == nil {
+				sensors = make(map[int]struct{}, len(e.Sensors))
+			}
+			for i := range e.Sensors {
+				sensors[i] = struct{}{}
+			}
+		}
+		list := make([]int, 0, len(sensors))
+		for i := range sensors {
+			list = append(list, i)
+		}
+		sort.Ints(list)
+		v.CampaignSensors = append(v.CampaignSensors, list)
+		if len(list) > 0 {
+			v.Detected++
+		}
+		if hitShared {
+			v.MergedCampaigns++
+		}
+	}
+	for _, e := range events {
+		if matched[e] == 0 {
+			v.UnmatchedEvents = append(v.UnmatchedEvents, e)
+		} else {
+			v.MatchedEvents++
+		}
+	}
+	return v
+}
+
+// Convergence returns, for k = 1..numSensors, the fraction of ground-truth
+// campaigns observed by at least one of the first k sensors — "how many
+// sensors does it take to see X% of the attacks", the fleet-sizing question
+// every honeypot deployment paper asks. Deployment order is random with
+// respect to campaigns, so the prefix is an unbiased sample.
+func (v *Validation) Convergence(numSensors int) []float64 {
+	out := make([]float64, numSensors)
+	if v.Campaigns == 0 {
+		return out
+	}
+	// minSensor per campaign: the smallest observing index (or -1).
+	for _, sensors := range v.CampaignSensors {
+		if len(sensors) == 0 {
+			continue
+		}
+		min := sensors[0]
+		for k := min; k < numSensors; k++ {
+			out[k]++
+		}
+	}
+	for k := range out {
+		out[k] /= float64(v.Campaigns)
+	}
+	return out
+}
+
+// CrossMonth is one month of the three-vantage comparison: what the
+// honeypot fleet, the fabric ground truth, and the global telemetry feed
+// each call "an NTP attack" in that month.
+type CrossMonth struct {
+	Month time.Time
+	// HoneypotEvents is the fleet's event count (merged bursts and all).
+	HoneypotEvents int
+	// FabricCampaigns is the ground-truth campaign count.
+	FabricCampaigns int
+	// TelemetryNTP is the telemetry feed's labeled NTP attack count (its
+	// census is independent of the fabric — the feeds genuinely disagree,
+	// as the real ones do).
+	TelemetryNTP int
+}
+
+// SiteOverlap compares the victim populations two vantages recovered.
+type SiteOverlap struct {
+	Site string
+	// SiteVictims is the ISP tap's victim count; Overlap of them also
+	// appear as honeypot event victims.
+	SiteVictims int
+	Overlap     int
+}
+
+// CrossVantage is the full consistency report.
+type CrossVantage struct {
+	Months []CrossMonth
+	Sites  []SiteOverlap
+}
+
+// CrossValidate assembles the cross-vantage comparison. telemetryNTP maps
+// month → labeled NTP attack count (from telemetry.Collector); siteVictims
+// maps ISP vantage name → victim set (from ispview.View.VictimSet).
+func CrossValidate(events []*Event, truth []attack.Campaign,
+	telemetryNTP map[time.Time]int, siteVictims map[string]netaddr.Set) *CrossVantage {
+
+	months := make(map[time.Time]*CrossMonth)
+	get := func(m time.Time) *CrossMonth {
+		cm, ok := months[m]
+		if !ok {
+			cm = &CrossMonth{Month: m}
+			months[m] = cm
+		}
+		return cm
+	}
+	victims := netaddr.NewSet(len(events))
+	for _, e := range events {
+		get(vtime.Month(e.First)).HoneypotEvents++
+		victims.Add(e.Victim)
+	}
+	for _, c := range truth {
+		get(vtime.Month(c.Start)).FabricCampaigns++
+	}
+	for m, n := range telemetryNTP {
+		get(m).TelemetryNTP = n
+	}
+
+	cv := &CrossVantage{}
+	keys := make([]time.Time, 0, len(months))
+	for m := range months {
+		keys = append(keys, m)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Before(keys[j]) })
+	for _, m := range keys {
+		cv.Months = append(cv.Months, *months[m])
+	}
+
+	names := make([]string, 0, len(siteVictims))
+	for name := range siteVictims {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		set := siteVictims[name]
+		cv.Sites = append(cv.Sites, SiteOverlap{
+			Site:        name,
+			SiteVictims: set.Len(),
+			Overlap:     set.IntersectCount(victims),
+		})
+	}
+	return cv
+}
+
+// Summary bundles everything the scenario exposes in Results: the event
+// list, the ground-truth join, the convergence curve and the cross-vantage
+// comparison, plus fleet operating counters.
+type Summary struct {
+	NumSensors int
+	Events     []*Event
+	Validation *Validation
+	// Convergence[k-1] is the fraction of campaigns seen by the first k
+	// sensors.
+	Convergence []float64
+	Cross       *CrossVantage
+
+	ScannerSources     []netaddr.Addr
+	QueriesSeen        int64
+	PrimingSeen        int64
+	RepliesSent        int64
+	RepliesSuppressed  int64
+	SuppressedScanners int64
+}
+
+// Summarize flushes the fleet's detector and builds the summary. now is the
+// end-of-run time used to close open events.
+func Summarize(f *Fleet, truth []attack.Campaign, telemetryNTP map[time.Time]int,
+	siteVictims map[string]netaddr.Set, now time.Time) *Summary {
+
+	f.Detector.Flush(now)
+	events := f.Detector.Events()
+	val := Validate(events, truth)
+	return &Summary{
+		NumSensors:         len(f.Sensors),
+		Events:             events,
+		Validation:         val,
+		Convergence:        val.Convergence(len(f.Sensors)),
+		Cross:              CrossValidate(events, truth, telemetryNTP, siteVictims),
+		ScannerSources:     f.Detector.ScannerSources(),
+		QueriesSeen:        f.QueriesSeen(),
+		PrimingSeen:        f.PrimingSeen(),
+		RepliesSent:        f.RepliesSent(),
+		RepliesSuppressed:  f.RepliesSuppressed(),
+		SuppressedScanners: f.Detector.SuppressedScanners,
+	}
+}

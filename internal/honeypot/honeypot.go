@@ -1,0 +1,291 @@
+// Package honeypot is the fifth vantage point: a fleet of amppot-style
+// amplification honeypots (Krämer et al., RAID 2015; Nawrocki et al.'s SoK
+// surveys the genre). Each sensor squats on a routed-but-unpopulated address
+// and emulates a vulnerable ntpd — it answers mode 7 monlist and mode 6
+// readvar probes with real wire-format responses so that scanners harvest it
+// into booter reflector lists — while response-rate limiting keeps it from
+// contributing materially to any attack it is abused in.
+//
+// The sensors' own traffic is the dataset: spoofed monlist triggers arrive
+// carrying the victim's address as their source, so per-(victim, port)
+// aggregation over sliding windows recovers attack events, start times and
+// durations without any flow feed — the honeypot methodology the follow-on
+// literature (e.g. "The Age of DDoScovery") cross-validates against flow
+// counts. This package reproduces both the detection pipeline and that
+// cross-vantage comparison.
+package honeypot
+
+import (
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/netsim"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/rng"
+)
+
+// DefaultSensors is the fleet size the scenario deploys — the same order of
+// magnitude as AmpPot's 21-sensor deployment.
+const DefaultSensors = 24
+
+// DefaultInclusionProb is the per-sensor probability that a booter's
+// harvested reflector list contains a given sensor at campaign time.
+// Honeypots answer every scan, so they persist in lists far better than real
+// amplifiers; with 24 sensors at 0.3 the fleet misses a campaign with
+// probability 0.7^24 ≈ 2e-4 while the per-sensor convergence curve stays
+// informative.
+const DefaultInclusionProb = 0.3
+
+// Config sizes a fleet and its detector.
+type Config struct {
+	// NumSensors is the fleet size.
+	NumSensors int
+	// MonEntries is the synthetic monitor-table size each sensor discloses:
+	// enough entries to look like a worthwhile amplifier to a list-building
+	// scanner, few enough to keep the response in one fragment.
+	MonEntries int
+	// RRLRate is the per-source response budget in packets/second averaged
+	// over RRLWindow. Scan probes (one packet) always get answered; trigger
+	// floods are clamped to the budget — attract, don't amplify.
+	RRLRate float64
+	// RRLWindow is the budget refill interval.
+	RRLWindow time.Duration
+
+	Detector DetectorConfig
+}
+
+// DefaultConfig returns the scenario's fleet configuration for n sensors
+// (n <= 0 selects DefaultSensors).
+func DefaultConfig(n int) Config {
+	if n <= 0 {
+		n = DefaultSensors
+	}
+	return Config{
+		NumSensors: n,
+		MonEntries: 6,
+		RRLRate:    2,
+		RRLWindow:  10 * time.Second,
+		Detector:   DefaultDetectorConfig(n),
+	}
+}
+
+// Fleet is a deployed set of sensors sharing one event detector.
+type Fleet struct {
+	Cfg      Config
+	Sensors  []*Sensor
+	Detector *Detector
+}
+
+// NewFleet builds a fleet on the given addresses. The source seeds the
+// synthetic monitor-table bait; it is not consumed afterwards, so fleet
+// operation never perturbs other subsystems' randomness.
+func NewFleet(cfg Config, addrs []netaddr.Addr, src *rng.Source) *Fleet {
+	if cfg.NumSensors > len(addrs) {
+		cfg.NumSensors = len(addrs)
+	}
+	f := &Fleet{Cfg: cfg, Detector: NewDetector(cfg.Detector)}
+	for i := 0; i < cfg.NumSensors; i++ {
+		f.Sensors = append(f.Sensors, newSensor(f, i, addrs[i], src))
+	}
+	return f
+}
+
+// Register binds every sensor to the fabric.
+func (f *Fleet) Register(nw *netsim.Network) {
+	for _, s := range f.Sensors {
+		nw.Register(s.Addr, s)
+	}
+}
+
+// Addrs returns the sensor addresses in deployment order.
+func (f *Fleet) Addrs() []netaddr.Addr {
+	out := make([]netaddr.Addr, len(f.Sensors))
+	for i, s := range f.Sensors {
+		out[i] = s.Addr
+	}
+	return out
+}
+
+// QueriesSeen totals Rep-weighted NTP queries across the fleet.
+func (f *Fleet) QueriesSeen() int64 {
+	var n int64
+	for _, s := range f.Sensors {
+		n += s.QueriesSeen
+	}
+	return n
+}
+
+// RepliesSent and RepliesSuppressed total the fleet's RRL accounting.
+func (f *Fleet) RepliesSent() int64 {
+	var n int64
+	for _, s := range f.Sensors {
+		n += s.RepliesSent
+	}
+	return n
+}
+
+// RepliesSuppressed totals the Rep-weighted responses RRL withheld.
+func (f *Fleet) RepliesSuppressed() int64 {
+	var n int64
+	for _, s := range f.Sensors {
+		n += s.RepliesSuppressed
+	}
+	return n
+}
+
+// PrimingSeen totals the spoofed mode-3 priming packets the fleet absorbed.
+func (f *Fleet) PrimingSeen() int64 {
+	var n int64
+	for _, s := range f.Sensors {
+		n += s.PrimingSeen
+	}
+	return n
+}
+
+// rrlState is one source's budget window.
+type rrlState struct {
+	windowStart time.Time
+	used        int64
+}
+
+// Sensor is one amppot instance. It implements netsim.Host.
+type Sensor struct {
+	Addr  netaddr.Addr
+	Index int
+
+	fleet *Fleet
+	// mru is the synthetic monitor table disclosed to monlist probes.
+	mru []ntp.MonEntry
+	rrl map[netaddr.Addr]*rrlState
+
+	// QueriesSeen counts Rep-weighted NTP queries of any mode.
+	QueriesSeen int64
+	// PrimingSeen counts spoofed mode-3 client packets (attacker priming).
+	PrimingSeen int64
+	// RepliesSent / RepliesSuppressed are Rep-weighted RRL accounting.
+	RepliesSent       int64
+	RepliesSuppressed int64
+}
+
+func newSensor(f *Fleet, idx int, addr netaddr.Addr, src *rng.Source) *Sensor {
+	s := &Sensor{Addr: addr, Index: idx, fleet: f, rrl: make(map[netaddr.Addr]*rrlState)}
+	// The bait table: plausible client entries so list-building scanners see
+	// a responsive, populated amplifier worth keeping.
+	for i := 0; i < f.Cfg.MonEntries; i++ {
+		s.mru = append(s.mru, ntp.MonEntry{
+			Addr:        netaddr.Addr(src.Uint32()),
+			DAddr:       addr,
+			Count:       uint32(1 + src.IntN(40)),
+			Mode:        ntp.ModeClient,
+			Version:     4,
+			Port:        uint16(1024 + src.IntN(60000)),
+			AvgInterval: uint32(60 + src.IntN(600)),
+			LastSeen:    uint32(src.IntN(3600)),
+		})
+	}
+	return s
+}
+
+// HandlePacket implements netsim.Host: answer like a vulnerable ntpd, and
+// feed every mode 7 request into the fleet's event detector.
+func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	if dg.UDP.DstPort != ntp.Port {
+		return
+	}
+	mode, ok := ntp.Mode(dg.Payload)
+	if !ok {
+		return
+	}
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	s.QueriesSeen += rep
+	switch mode {
+	case ntp.ModePrivate:
+		m, err := ntp.DecodeMode7(dg.Payload)
+		if err != nil || m.Response {
+			return
+		}
+		if m.Request != ntp.ReqMonGetList && m.Request != ntp.ReqMonGetList1 {
+			return
+		}
+		// The request's claimed source is either a scanner's real address or
+		// a spoofed victim — exactly what the detector disambiguates.
+		s.fleet.Detector.Ingest(s.Index, dg.IP.Src, dg.UDP.SrcPort, dg.IP.TTL, rep, now)
+		// Honeypots answer regardless of implementation value (unlike the
+		// §3.1 blind spot): staying responsive to every prober is what keeps
+		// them in harvested lists.
+		for _, frag := range ntp.BuildMonlistResponse(s.mru, m.Implementation, m.Request) {
+			s.reply(nw, dg, frag, rep, now)
+		}
+	case ntp.ModeControl:
+		m, err := ntp.DecodeMode6(dg.Payload)
+		if err != nil || m.Response || m.OpCode != ntp.OpReadVar {
+			return
+		}
+		vars := ntp.SystemVariables{
+			Version: "ntpd 4.2.4p8@1.1612-o", Processor: "x86_64",
+			System: "Linux/2.6.32", Stratum: 3, RefID: "10.0.0.1",
+		}
+		for _, frag := range ntp.BuildReadVarResponse(m.Sequence, vars.Encode()) {
+			s.reply(nw, dg, frag, rep, now)
+		}
+	case ntp.ModeClient:
+		// Spoofed mode-3 priming (or a stray honest client): answer, and
+		// count it — priming volume is itself an abuse signal.
+		var req ntp.Header
+		if err := req.DecodeFromBytes(dg.Payload); err != nil {
+			return
+		}
+		s.PrimingSeen += rep
+		rp := ntp.NewServerReply(&req, 3, now)
+		s.reply(nw, dg, rp.AppendTo(nil), rep, now)
+	}
+}
+
+// reply sends one response fragment back to the (possibly spoofed) source,
+// clamped to the per-source RRL budget.
+func (s *Sensor) reply(nw *netsim.Network, trigger *packet.Datagram, payload []byte, rep int64, now time.Time) {
+	grant := s.grant(trigger.IP.Src, rep, now)
+	if grant <= 0 {
+		s.RepliesSuppressed += rep
+		return
+	}
+	if grant < rep {
+		s.RepliesSuppressed += rep - grant
+	}
+	out := packet.NewDatagram(s.Addr, ntp.Port, trigger.IP.Src, trigger.UDP.SrcPort, payload)
+	out.IP.TTL = netsim.TTLLinux // sensors run on Linux boxes
+	out.Rep = grant
+	if nw.SendFrom(s.Addr, out) {
+		s.RepliesSent += grant
+	}
+}
+
+// grant debits up to rep packets from the source's current budget window.
+func (s *Sensor) grant(src netaddr.Addr, rep int64, now time.Time) int64 {
+	budget := int64(s.fleet.Cfg.RRLRate * s.fleet.Cfg.RRLWindow.Seconds())
+	if budget <= 0 {
+		return rep // RRL disabled
+	}
+	st, ok := s.rrl[src]
+	if !ok {
+		st = &rrlState{windowStart: now}
+		s.rrl[src] = st
+	}
+	if now.Sub(st.windowStart) >= s.fleet.Cfg.RRLWindow {
+		st.windowStart = now
+		st.used = 0
+	}
+	grant := budget - st.used
+	if grant <= 0 {
+		return 0
+	}
+	if grant > rep {
+		grant = rep
+	}
+	st.used += grant
+	return grant
+}

@@ -3,6 +3,8 @@
 package report
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 )
@@ -107,6 +109,18 @@ func (t *Table) CSV() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// Digest hashes the rendered form of a table set: two runs with identical
+// seeds must produce identical digests, which is how the determinism
+// regression pins the whole pipeline with one comparison.
+func Digest(tables []*Table) string {
+	h := sha256.New()
+	for _, t := range tables {
+		h.Write([]byte(t.Render()))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Count formats a scaled population count with its re-inflated real-world

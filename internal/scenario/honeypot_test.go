@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"testing"
+
+	"ntpddos/internal/honeypot"
+)
+
+func TestHoneypotFleetDeployed(t *testing.T) {
+	w := Build(TestConfig())
+	if w.Honeypots == nil {
+		t.Fatal("TestConfig world has no honeypot fleet")
+	}
+	if n := len(w.Honeypots.Sensors); n != honeypot.DefaultSensors {
+		t.Fatalf("fleet has %d sensors, want %d", n, honeypot.DefaultSensors)
+	}
+	for _, s := range w.Honeypots.Sensors {
+		if !w.Net.IsRegistered(s.Addr) {
+			t.Fatalf("sensor %v not registered on the fabric", s.Addr)
+		}
+		if _, isServer := w.Servers[s.Addr]; isServer {
+			t.Fatalf("sensor %v collides with a real daemon", s.Addr)
+		}
+		if w.Views["Merit"].Contains(s.Addr) || w.Views["FRGP"].Contains(s.Addr) {
+			t.Fatalf("sensor %v placed inside a §7 site network", s.Addr)
+		}
+	}
+	if len(w.Engine.Reflectors) != len(w.Honeypots.Sensors) {
+		t.Fatalf("engine knows %d reflectors, want %d",
+			len(w.Engine.Reflectors), len(w.Honeypots.Sensors))
+	}
+}
+
+func TestHoneypotDisabledWhenZero(t *testing.T) {
+	cfg := TestConfig()
+	cfg.HoneypotSensors = 0
+	w := Build(cfg)
+	if w.Honeypots != nil {
+		t.Fatal("HoneypotSensors=0 still deployed a fleet")
+	}
+	if w.Engine.OnLaunch != nil || w.Engine.Reflectors != nil {
+		t.Fatal("disabled fleet still wired into the attack engine")
+	}
+}
+
+func TestHoneypotDetectionAgainstGroundTruth(t *testing.T) {
+	res := results(t)
+	hp := res.Honeypot
+	if hp == nil {
+		t.Fatal("run produced no honeypot summary")
+	}
+	val := hp.Validation
+	if val.Campaigns == 0 {
+		t.Fatal("ground-truth campaign log is empty")
+	}
+	if len(hp.Events) == 0 {
+		t.Fatal("fleet detected no events")
+	}
+	// The acceptance bar: ≥90% of launched campaigns detected...
+	if rate := val.DetectionRate(); rate < 0.9 {
+		t.Fatalf("detection rate %.3f (%d/%d), want ≥ 0.90",
+			rate, val.Detected, val.Campaigns)
+	}
+	// ...with zero events from scan-only traffic: every event must match a
+	// ground-truth campaign.
+	if len(val.UnmatchedEvents) != 0 {
+		ev := val.UnmatchedEvents[0]
+		t.Fatalf("%d events match no campaign (first: %v:%d at %v)",
+			len(val.UnmatchedEvents), ev.Victim, ev.Port, ev.First)
+	}
+	// The fleet absorbed sweeps all window long; the classifier must have a
+	// scanner census and RRL must have been exercised by the trigger floods.
+	if len(hp.ScannerSources) == 0 {
+		t.Fatal("no sources classified as scanners despite weekly sweeps")
+	}
+	if hp.RepliesSuppressed == 0 {
+		t.Fatal("RRL never clamped a response across a full attack window")
+	}
+	// (PrimingSeen stays 0 here: attackers warm only their own amplifier
+	// list — sensors are injected after priming, and their bait tables need
+	// no warming. The mode-3 path is covered by the package tests.)
+	if hp.QueriesSeen == 0 {
+		t.Fatal("fleet saw no queries across a full window")
+	}
+}
+
+func TestHoneypotConvergenceCurve(t *testing.T) {
+	res := results(t)
+	hp := res.Honeypot
+	if hp == nil {
+		t.Fatal("run produced no honeypot summary")
+	}
+	conv := hp.Convergence
+	if len(conv) != hp.NumSensors {
+		t.Fatalf("convergence has %d points, want %d", len(conv), hp.NumSensors)
+	}
+	for k := 1; k < len(conv); k++ {
+		if conv[k] < conv[k-1] {
+			t.Fatalf("convergence not monotone at k=%d: %v", k, conv)
+		}
+	}
+	if last := conv[len(conv)-1]; last < 0.9 {
+		t.Fatalf("full-fleet convergence %.3f, want ≥ 0.90", last)
+	}
+	// A single sensor must already see a substantial share (inclusion
+	// probability 0.3 plus event sharing across sibling campaigns).
+	if conv[0] <= 0 {
+		t.Fatal("first sensor sees nothing")
+	}
+}
+
+func TestHoneypotCrossVantage(t *testing.T) {
+	res := results(t)
+	hp := res.Honeypot
+	if hp == nil {
+		t.Fatal("run produced no honeypot summary")
+	}
+	cross := hp.Cross
+	if len(cross.Months) == 0 {
+		t.Fatal("cross-vantage report has no months")
+	}
+	var hpTotal, fabricTotal, telemetryTotal int
+	for _, m := range cross.Months {
+		hpTotal += m.HoneypotEvents
+		fabricTotal += m.FabricCampaigns
+		telemetryTotal += m.TelemetryNTP
+	}
+	if hpTotal == 0 || fabricTotal == 0 || telemetryTotal == 0 {
+		t.Fatalf("a vantage saw nothing: honeypot=%d fabric=%d telemetry=%d",
+			hpTotal, fabricTotal, telemetryTotal)
+	}
+	// Event merging means the honeypot count can only be at or below the
+	// flow-level campaign count (the §-DDoScovery disagreement direction).
+	if hpTotal > fabricTotal {
+		t.Fatalf("honeypot events (%d) exceed fabric campaigns (%d)", hpTotal, fabricTotal)
+	}
+	if len(cross.Sites) != 3 {
+		t.Fatalf("cross-vantage has %d sites, want Merit/CSU/FRGP", len(cross.Sites))
+	}
+	for _, s := range cross.Sites {
+		if s.Overlap > s.SiteVictims {
+			t.Fatalf("site %s overlap %d exceeds its victim count %d",
+				s.Site, s.Overlap, s.SiteVictims)
+		}
+	}
+}

@@ -90,6 +90,12 @@ func (w *World) placeBatch(as *asdb.AS, n int, build func(addr netaddr.Addr) *nt
 		if _, taken := w.Servers[addr]; taken {
 			continue
 		}
+		// Register replaces bindings, so an address already carrying a
+		// non-daemon host (a survey prober, a honeypot sensor) must be
+		// skipped, not clobbered. The check consumes no randomness.
+		if w.Net.IsRegistered(addr) {
+			continue
+		}
 		s := &server{
 			srv:     build(addr),
 			as:      as,

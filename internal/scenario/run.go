@@ -10,6 +10,7 @@ import (
 	"ntpddos/internal/attack"
 	"ntpddos/internal/core"
 	"ntpddos/internal/geo"
+	"ntpddos/internal/honeypot"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/ntpd"
@@ -43,6 +44,11 @@ type Results struct {
 	SiteAmpCounts []SiteCounts
 	// Registries are the analysis joins.
 	Registries core.Registries
+	// Honeypot is the sensor fleet's summary: detected events validated
+	// against the launched-campaign ground truth, the sensor-count
+	// convergence curve, and the cross-vantage comparison (nil when the
+	// fleet is disabled).
+	Honeypot *honeypot.Summary
 }
 
 // SiteCounts is one sample's local amplifier census.
@@ -175,6 +181,15 @@ func (w *World) Run() *Results {
 		}
 
 		w.Sched.RunUntil(day.Add(24 * time.Hour))
+	}
+
+	if w.Honeypots != nil {
+		siteVictims := make(map[string]netaddr.Set, len(w.Views))
+		for name, v := range w.Views {
+			siteVictims[name] = v.VictimSet()
+		}
+		res.Honeypot = honeypot.Summarize(w.Honeypots, w.Launched,
+			w.Collector.MonthlyVectorCounts("ntp"), siteVictims, w.Clock.Now())
 	}
 	return res
 }
@@ -369,6 +384,9 @@ func (w *World) applyDHCPChurn() {
 		fresh := block.Nth(uint64(w.Src.IntN(256)))
 		if _, taken := w.Servers[fresh]; taken {
 			continue
+		}
+		if w.Net.IsRegistered(fresh) {
+			continue // never clobber a prober or honeypot sensor binding
 		}
 		cfg := s.srv.Config()
 		cfg.Addr = fresh

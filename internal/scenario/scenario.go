@@ -22,6 +22,7 @@ import (
 	"ntpddos/internal/asdb"
 	"ntpddos/internal/attack"
 	"ntpddos/internal/darknet"
+	"ntpddos/internal/honeypot"
 	"ntpddos/internal/ispview"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
@@ -62,6 +63,12 @@ type Config struct {
 	// uses full counts.
 	FabricAttackDivisor int
 
+	// HoneypotSensors sizes the amppot-style sensor fleet (0 disables the
+	// honeypot vantage entirely). The fleet runs on RNG streams forked from
+	// the seed independently of the world stream, so enabling or resizing
+	// it never perturbs the calibrated population and attack draws.
+	HoneypotSensors int
+
 	// NoRemediation disables the §6 community response entirely (global
 	// patching, site schedules still run): the counterfactual world the
 	// ablation benchmarks compare against.
@@ -92,6 +99,7 @@ func DefaultConfig() Config {
 		NumASes:             1500,
 		MonthlyAttacks:      300_000,
 		FabricAttackDivisor: 1,
+		HoneypotSensors:     honeypot.DefaultSensors,
 	}
 }
 
@@ -160,6 +168,14 @@ type World struct {
 	Collector *telemetry.Collector
 	Views     map[string]*ispview.View
 	Engine    *attack.Engine
+
+	// Honeypots is the amppot sensor fleet (nil when disabled); Launched is
+	// the ground-truth campaign log its detections are validated against.
+	Honeypots *honeypot.Fleet
+	Launched  []attack.Campaign
+	// hpSrc is the honeypot vantage's private RNG root, forked from the seed
+	// separately from Src so the fleet never perturbs world randomness.
+	hpSrc *rng.Source
 
 	ONPAddr          netaddr.Addr
 	MeritAmps        []netaddr.Addr
@@ -263,8 +279,67 @@ func Build(cfg Config) *World {
 	w.victimZipf = src.Zipf(1.06, uint64(len(w.victimPool)))
 	w.buildAttackers()
 	w.buildDNSPool()
+	w.placeSensors()
 
 	w.Engine = attack.NewEngine(nw, src.Fork("attack"), w.botAddrs)
+	if w.Honeypots != nil {
+		// Scanners harvest the always-responsive sensors into booter lists;
+		// from then on each campaign drags some of the fleet in. The draws
+		// come from the honeypot stream, and OnLaunch records the ground
+		// truth the detections are validated against.
+		w.Engine.Reflectors = w.Honeypots.Addrs()
+		w.Engine.ReflectorProb = honeypot.DefaultInclusionProb
+		w.Engine.ReflectorSrc = w.hpSrc.Fork("reflectors")
+		w.Engine.OnLaunch = func(c attack.Campaign) {
+			w.Launched = append(w.Launched, c)
+		}
+	}
 	w.asPoolFrozen = true
 	return w
+}
+
+// sensorASWeights places sensors where amppot deployments live: hosting and
+// university space. The §7 site networks are excluded — their traffic is
+// ground truth for the ISP vantage and must not gain emulated daemons.
+var sensorASWeights = map[asdb.ASType]float64{
+	asdb.Hosting: 0.5, asdb.Education: 0.3, asdb.Enterprise: 0.2,
+}
+
+// placeSensors deploys the honeypot fleet on routed-but-unpopulated
+// addresses. All draws come from hpSrc.
+func (w *World) placeSensors() {
+	n := w.Cfg.HoneypotSensors
+	if n <= 0 {
+		return
+	}
+	w.hpSrc = rng.New(w.Cfg.Seed).Fork("honeypot")
+	pickAS := func() *asdb.AS {
+		return w.DB.PickWeighted(w.hpSrc, func(as *asdb.AS) float64 {
+			if as.Name == asdb.NameMerit || as.Name == asdb.NameCSU || as.Name == asdb.NameFRGP {
+				return 0
+			}
+			return sensorASWeights[as.Type]
+		})
+	}
+	seen := netaddr.NewSet(n)
+	var addrs []netaddr.Addr
+	for tries := 0; len(addrs) < n && tries < n*50; tries++ {
+		as := pickAS()
+		if as == nil {
+			break
+		}
+		addr := as.RandomAddr(w.hpSrc)
+		// Routed but unpopulated: skip anything already owned by a daemon or
+		// other registered host.
+		if seen.Has(addr) || w.Net.IsRegistered(addr) {
+			continue
+		}
+		if _, taken := w.Servers[addr]; taken {
+			continue
+		}
+		seen.Add(addr)
+		addrs = append(addrs, addr)
+	}
+	w.Honeypots = honeypot.NewFleet(honeypot.DefaultConfig(len(addrs)), addrs, w.hpSrc.Fork("fleet"))
+	w.Honeypots.Register(w.Net)
 }

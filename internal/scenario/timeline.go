@@ -361,6 +361,17 @@ func (w *World) scheduleSweep(day time.Time, addr netaddr.Addr, ampList []netadd
 				}
 			}
 		}
+		// Honeypot sensors answer every probe, so every pass — research
+		// census or malicious list-building — covers the whole fleet; that
+		// responsiveness is how the sensors end up in booter reflector
+		// lists. Port draws come from the honeypot stream to keep the world
+		// stream untouched.
+		if w.Honeypots != nil {
+			for _, s := range w.Honeypots.Addrs() {
+				w.Net.SendUDP(addr, 40000+uint16(w.hpSrc.IntN(20000)), s, ntp.Port,
+					64, probe)
+			}
+		}
 		// A small sample of the global pool (full sweeps at scale are the
 		// ONP survey's job; attackers' list-building is modeled as
 		// snapshots). The sample is tiny because scanner counts are near

@@ -239,3 +239,15 @@ func (c *Collector) AttackFractions() []MonthRow {
 
 // NumAttacks returns the total labeled attack count.
 func (c *Collector) NumAttacks() int { return len(c.attacks) }
+
+// MonthlyVectorCounts returns labeled attack counts per month for one
+// vector — the telemetry side of the honeypot cross-vantage join.
+func (c *Collector) MonthlyVectorCounts(vector string) map[time.Time]int {
+	out := make(map[time.Time]int)
+	for _, a := range c.attacks {
+		if a.Vector == vector {
+			out[vtime.Month(a.Start)]++
+		}
+	}
+	return out
+}

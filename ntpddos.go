@@ -96,6 +96,7 @@ func (s *Simulation) All() []*Table {
 		s.Figure13(), s.Figure14(), s.Figure15(), s.Figure16(), s.Table5(),
 		s.Table6(), s.ChurnReport(), s.VolumeReport(), s.RemediationReport(),
 		s.DNSOverlapReport(), s.TTLReport(), s.MegaReport(),
+		s.HoneypotReport(), s.HoneypotConvergence(),
 	}
 }
 

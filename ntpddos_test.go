@@ -23,8 +23,8 @@ func sim(t *testing.T) *Simulation {
 func TestAllExperimentsRender(t *testing.T) {
 	s := sim(t)
 	tables := s.All()
-	if len(tables) != 31 {
-		t.Fatalf("All() returned %d tables, want 31", len(tables))
+	if len(tables) != 33 {
+		t.Fatalf("All() returned %d tables, want 33", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
