@@ -18,13 +18,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/ntpd"
@@ -32,15 +37,33 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:11123", "UDP address to serve")
-		monlist = flag.Bool("monlist", true, "answer mode 7 monlist queries (the vulnerability)")
-		version = flag.Bool("version", true, "answer mode 6 readvar queries")
-		stratum = flag.Int("stratum", 2, "reported stratum (16 = unsynchronized)")
-		system  = flag.String("system", "linux", "reported system string")
-		prime   = flag.Int("prime", 0, "pre-fill the monitor table with N synthetic clients")
-		quiet   = flag.Bool("quiet", false, "suppress per-query logging")
+		listen      = flag.String("listen", "127.0.0.1:11123", "UDP address to serve")
+		monlist     = flag.Bool("monlist", true, "answer mode 7 monlist queries (the vulnerability)")
+		version     = flag.Bool("version", true, "answer mode 6 readvar queries")
+		stratum     = flag.Int("stratum", 2, "reported stratum (16 = unsynchronized)")
+		system      = flag.String("system", "linux", "reported system string")
+		prime       = flag.Int("prime", 0, "pre-fill the monitor table with N synthetic clients")
+		quiet       = flag.Bool("quiet", false, "suppress per-query logging")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9123)")
 	)
 	flag.Parse()
+
+	var (
+		reg   *metrics.Registry
+		ntpdM *ntpd.Metrics
+		exp   *metrics.Server
+	)
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		metrics.RegisterGoRuntime(reg)
+		ntpdM = ntpd.NewMetrics(reg)
+		var err error
+		exp, err = metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("ntpdsim: metrics exporter: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ntpdsim: serving metrics on http://%s/metrics\n", exp.Addr())
+	}
 
 	srv := ntpd.New(ntpd.Config{
 		Addr:           0, // real transport; fabric address unused
@@ -48,6 +71,7 @@ func main() {
 		MonlistEnabled: *monlist,
 		Mode6Enabled:   *version,
 		ExtraVarBytes:  300,
+		Metrics:        ntpdM,
 		Profile: ntpd.Profile{
 			SystemString:  *system,
 			VersionString: "ntpd 4.2.4p8@1.1612-o Mon Dec 21 11:23:01 UTC 2009 (1)",
@@ -71,10 +95,35 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ntpdsim: serving NTP on %s (monlist=%v version=%v stratum=%d, %d primed clients)\n",
 		conn.LocalAddr(), *monlist, *version, *stratum, srv.MRULen())
 
+	// The daemon socket is up: report healthy, and drain the exporter
+	// gracefully on SIGINT/SIGTERM (closing the UDP socket unblocks the read
+	// loop below).
+	var stopping atomic.Bool
+	if exp != nil {
+		exp.SetReady(true)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		stopping.Store(true)
+		if exp != nil {
+			exp.SetReady(false)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			exp.Shutdown(ctx)
+		}
+		conn.Close()
+	}()
+
 	buf := make([]byte, 2048)
 	for {
 		n, peer, err := conn.ReadFromUDP(buf)
 		if err != nil {
+			if stopping.Load() {
+				fmt.Fprintln(os.Stderr, "ntpdsim: shutting down")
+				return
+			}
 			log.Fatalf("ntpdsim: read: %v", err)
 		}
 		src, ok := udpToAddr(peer)

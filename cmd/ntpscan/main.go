@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"ntpddos/internal/core"
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
@@ -32,13 +34,35 @@ import (
 
 func main() {
 	var (
-		target  = flag.String("target", "", "single target host:port")
-		cidr    = flag.String("cidr", "", "CIDR block to sweep on port 123 (zmap-style order)")
-		mode    = flag.String("mode", "monlist", "probe type: monlist | version")
-		wait    = flag.Duration("wait", 2*time.Second, "response collection window per batch")
-		showTab = flag.Bool("table", true, "print reconstructed monlist tables")
+		target      = flag.String("target", "", "single target host:port")
+		cidr        = flag.String("cidr", "", "CIDR block to sweep on port 123 (zmap-style order)")
+		mode        = flag.String("mode", "monlist", "probe type: monlist | version")
+		wait        = flag.Duration("wait", 2*time.Second, "response collection window per batch")
+		showTab     = flag.Bool("table", true, "print reconstructed monlist tables")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address for the scan's duration (e.g. :9124)")
 	)
 	flag.Parse()
+
+	// Sweep instrumentation: the same ntpsim_scan_* families the simulated
+	// surveys export, labeled by probe kind.
+	var scanM *scan.Metrics
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterGoRuntime(reg)
+		scanM = scan.NewMetrics(reg)
+		exp, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("ntpscan: metrics exporter: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ntpscan: serving metrics on http://%s/metrics\n", exp.Addr())
+		exp.SetReady(true)
+		defer func() {
+			exp.SetReady(false)
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			exp.Shutdown(ctx)
+		}()
+	}
 
 	var probe []byte
 	switch *mode {
@@ -58,6 +82,18 @@ func main() {
 		log.Fatal("ntpscan: need -target or -cidr")
 	}
 
+	// Pre-resolved per-kind children; all nil (and therefore no-ops) when the
+	// exporter is off.
+	var probes, respPkts, respBytes, sweeps *metrics.Counter
+	var responders *metrics.Gauge
+	if scanM != nil {
+		probes = scanM.Probes.With(*mode)
+		respPkts = scanM.RespPkts.With(*mode)
+		respBytes = scanM.RespBytes.With(*mode)
+		responders = scanM.Responders.With(*mode)
+		sweeps = scanM.Sweeps.With(*mode)
+	}
+
 	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4zero})
 	if err != nil {
 		log.Fatalf("ntpscan: %v", err)
@@ -67,7 +103,9 @@ func main() {
 	for _, t := range targets {
 		if _, err := conn.WriteToUDP(probe, t); err != nil {
 			fmt.Fprintf(os.Stderr, "ntpscan: send %s: %v\n", t, err)
+			continue
 		}
+		probes.Inc()
 	}
 	fmt.Fprintf(os.Stderr, "ntpscan: sent %d %s probes, collecting for %v...\n",
 		len(targets), *mode, *wait)
@@ -90,13 +128,17 @@ func main() {
 		if !ok {
 			r = &result{}
 			results[peer.String()] = r
+			responders.SetInt(int64(len(results)))
 		}
 		r.packets++
 		r.bytes += packet.OnWireBytesForUDPPayload(n)
 		pl := make([]byte, n)
 		copy(pl, buf[:n])
 		r.payloads = append(r.payloads, pl)
+		respPkts.Inc()
+		respBytes.Add(int64(packet.OnWireBytesForUDPPayload(n)))
 	}
+	sweeps.Inc()
 
 	fmt.Printf("%-22s %8s %10s %8s\n", "responder", "packets", "wire_bytes", "BAF")
 	for peer, r := range results {

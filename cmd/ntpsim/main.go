@@ -11,22 +11,27 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"time"
 
 	"ntpddos"
+	"ntpddos/internal/metrics"
 )
 
 func main() {
 	var (
-		scale      = flag.Int("scale", 400, "population divisor (smaller = bigger, slower world)")
-		seed       = flag.Uint64("seed", 1, "world seed")
-		experiment = flag.String("experiment", "", "print only this experiment id")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
-		quick      = flag.Bool("quick", false, "use the quick test-scale configuration")
-		pcapDir    = flag.String("pcap", "", "directory to persist weekly monlist samples as .pcap files")
+		scale       = flag.Int("scale", 400, "population divisor (smaller = bigger, slower world)")
+		seed        = flag.Uint64("seed", 1, "world seed")
+		experiment  = flag.String("experiment", "", "print only this experiment id")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		quick       = flag.Bool("quick", false, "use the quick test-scale configuration")
+		pcapDir     = flag.String("pcap", "", "directory to persist weekly monlist samples as .pcap files")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the run progresses (e.g. :9091)")
 	)
 	flag.Parse()
 
@@ -37,6 +42,23 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.PCAPDir = *pcapDir
+
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterGoRuntime(reg)
+		cfg.Metrics = reg
+		exp, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("ntpsim: metrics exporter: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ntpsim: serving metrics on http://%s/metrics\n", exp.Addr())
+		exp.SetReady(true)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			exp.Shutdown(ctx)
+		}()
+	}
 
 	if *list {
 		// A throwaway quick run would be wasteful just to list ids; the ids

@@ -1,8 +1,11 @@
 package ntpddos
 
 import (
+	"strings"
 	"testing"
 
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/metrics/metricstest"
 	"ntpddos/internal/report"
 )
 
@@ -42,5 +45,54 @@ func TestSeedDeterminism(t *testing.T) {
 	d3, _ := run()
 	if d3 == d1 {
 		t.Fatal("different seed produced an identical digest")
+	}
+}
+
+// TestMetricsDoNotPerturbSimulation runs the same world with and without
+// live instrumentation attached and requires byte-identical digests: metric
+// writes must never consume randomness, schedule events, or otherwise leak
+// into simulation state. This is the contract that makes it safe to scrape
+// a production run.
+func TestMetricsDoNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+
+	plain := report.Digest(Run(cfg).All())
+
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	instrumented := report.Digest(Run(cfg).All())
+
+	if plain != instrumented {
+		t.Fatalf("instrumentation changed the simulation:\n  off: %s\n  on:  %s", plain, instrumented)
+	}
+	// The instrumented run must actually have produced metrics (guards
+	// against the wiring silently falling off) and they must expose cleanly.
+	text := reg.RenderText()
+	fams, err := metricstest.Parse(text)
+	if err != nil {
+		t.Fatalf("full-world exposition does not parse: %v", err)
+	}
+	if err := metricstest.Check(fams); err != nil {
+		t.Fatalf("full-world exposition is inconsistent: %v", err)
+	}
+	for _, family := range []string{
+		"ntpsim_fabric_packets_delivered_total",
+		"ntpsim_sched_events_fired_total",
+		"ntpsim_ntpd_queries_total",
+		"ntpsim_scan_probes_sent_total",
+		"ntpsim_attack_campaigns_total",
+		"ntpsim_honeypot_requests_total",
+		"ntpsim_telemetry_attacks_recorded_total",
+		"ntpsim_ispview_packets_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("instrumented run exposed no %s\n%s", family, text[:min(len(text), 2000)])
+		}
 	}
 }

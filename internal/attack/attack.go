@@ -11,12 +11,38 @@ package attack
 import (
 	"time"
 
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
 	"ntpddos/internal/rng"
 )
+
+// Metrics is the attacker-side live instrumentation: campaigns launched,
+// Rep-weighted triggers emitted/blocked, priming packets. Writes are atomic
+// and never consume randomness, so metrics-on and metrics-off runs launch
+// identical campaigns.
+type Metrics struct {
+	Campaigns       *metrics.Counter
+	TriggersSent    *metrics.Counter
+	TriggersBlocked *metrics.Counter
+	PrimePackets    *metrics.Counter
+}
+
+// NewMetrics registers the attack family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Campaigns: r.NewCounter("ntpsim_attack_campaigns_total",
+			"Booter campaigns launched."),
+		TriggersSent: r.NewCounter("ntpsim_attack_triggers_sent_total",
+			"Rep-weighted spoofed monlist triggers accepted by the fabric."),
+		TriggersBlocked: r.NewCounter("ntpsim_attack_triggers_blocked_total",
+			"Rep-weighted triggers dropped by BCP38 at the bot's network."),
+		PrimePackets: r.NewCounter("ntpsim_attack_prime_packets_total",
+			"Spoofed mode-3 priming packets sent to warm monitor tables."),
+	}
+}
 
 // PortChoice is one row of the attacked-port catalogue.
 type PortChoice struct {
@@ -147,6 +173,9 @@ type Engine struct {
 	TriggersSent int64
 	// TriggersBlocked counts triggers dropped by BCP38 at bot networks.
 	TriggersBlocked int64
+
+	// Metrics, when non-nil, attaches live instrumentation.
+	Metrics *Metrics
 }
 
 // NewEngine builds an engine with a 30-second trigger batching interval.
@@ -230,11 +259,20 @@ func (e *Engine) Launch(c Campaign) {
 				dg := newSpoofedTrigger(victim, port, amp, rep)
 				if e.Network.SendFrom(bot, dg) {
 					e.TriggersSent += rep
+					if e.Metrics != nil {
+						e.Metrics.TriggersSent.Add(rep)
+					}
 				} else {
 					e.TriggersBlocked += rep
+					if e.Metrics != nil {
+						e.Metrics.TriggersBlocked.Add(rep)
+					}
 				}
 			}
 		})
+	}
+	if e.Metrics != nil {
+		e.Metrics.Campaigns.Inc()
 	}
 	if e.OnLaunch != nil {
 		e.OnLaunch(c)
@@ -264,6 +302,9 @@ func (e *Engine) prime(c Campaign) {
 				src := base + netaddr.Addr(i)
 				e.Network.SendSpoofed(bot, src, 1024+uint16(i%60000), amp, ntp.Port,
 					netsim.TTLWindows, req)
+			}
+			if e.Metrics != nil {
+				e.Metrics.PrimePackets.Add(int64(n))
 			}
 		})
 	}

@@ -5,8 +5,49 @@ import (
 	"time"
 
 	"ntpddos/internal/darknet"
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 )
+
+// Metrics is the fleet's live instrumentation: ingest volume, the event
+// lifecycle (opened, closed, bursts merged into open events, scanner
+// suppressions) and the sensors' RRL accounting. Writes are atomic and the
+// detector's thresholds never read them, so detection is unaffected.
+type Metrics struct {
+	Requests           *metrics.Counter
+	EventsOpened       *metrics.Counter
+	EventsClosed       *metrics.Counter
+	BurstsMerged       *metrics.Counter
+	SuppressedScanners *metrics.Counter
+	OpenEvents         *metrics.Gauge
+	FlowKeys           *metrics.Gauge
+	RepliesSent        *metrics.Counter
+	RepliesSuppressed  *metrics.Counter
+}
+
+// NewMetrics registers the honeypot family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Requests: r.NewCounter("ntpsim_honeypot_requests_total",
+			"Rep-weighted monlist requests ingested by the event detector."),
+		EventsOpened: r.NewCounter("ntpsim_honeypot_events_opened_total",
+			"Attack events opened (threshold crossed on a flow key)."),
+		EventsClosed: r.NewCounter("ntpsim_honeypot_events_closed_total",
+			"Attack events closed (gap timeout or flush)."),
+		BurstsMerged: r.NewCounter("ntpsim_honeypot_bursts_merged_total",
+			"BurstGap-separated episodes merged into an already-open event."),
+		SuppressedScanners: r.NewCounter("ntpsim_honeypot_scanner_suppressed_total",
+			"Threshold crossings attributed to scanners and dropped."),
+		OpenEvents: r.NewGauge("ntpsim_honeypot_open_events",
+			"Attack events currently open across the fleet."),
+		FlowKeys: r.NewGauge("ntpsim_honeypot_flow_keys",
+			"Live (victim, port) aggregation keys in the detector."),
+		RepliesSent: r.NewCounter("ntpsim_honeypot_replies_sent_total",
+			"Rep-weighted response packets the sensors emitted (post-RRL)."),
+		RepliesSuppressed: r.NewCounter("ntpsim_honeypot_replies_suppressed_total",
+			"Rep-weighted responses withheld by response-rate limiting."),
+	}
+}
 
 // DetectorConfig tunes event detection.
 type DetectorConfig struct {
@@ -133,7 +174,11 @@ type Detector struct {
 	Requests int64
 
 	ingests int64
+	m       *Metrics
 }
+
+// SetMetrics attaches (or, with nil, detaches) live instrumentation.
+func (d *Detector) SetMetrics(m *Metrics) { d.m = m }
 
 // NewDetector builds a detector.
 func NewDetector(cfg DetectorConfig) *Detector {
@@ -153,6 +198,9 @@ func (d *Detector) Ingest(sensorIdx int, src netaddr.Addr, srcPort uint16, ttl u
 	}
 	d.Requests += rep
 	d.ingests++
+	if d.m != nil {
+		d.m.Requests.Add(rep)
+	}
 
 	// Per-source profile.
 	ss, ok := d.sources[src]
@@ -184,6 +232,10 @@ func (d *Detector) Ingest(sensorIdx int, src netaddr.Addr, srcPort uint16, ttl u
 		fs.event = nil
 		fs.window = fs.window[:0]
 		fs.windowSum = 0
+		if d.m != nil {
+			d.m.EventsClosed.Inc()
+			d.m.OpenEvents.Dec()
+		}
 	}
 
 	// Evict samples older than Window.
@@ -206,6 +258,9 @@ func (d *Detector) Ingest(sensorIdx int, src netaddr.Addr, srcPort uint16, ttl u
 		ev := fs.event
 		if now.Sub(fs.lastSeen) > d.Cfg.BurstGap {
 			ev.Bursts++
+			if d.m != nil {
+				d.m.BurstsMerged.Inc()
+			}
 		}
 		ev.Last = now
 		ev.Packets += rep
@@ -216,7 +271,14 @@ func (d *Detector) Ingest(sensorIdx int, src netaddr.Addr, srcPort uint16, ttl u
 	} else if fs.windowSum >= d.Cfg.MinPackets {
 		if d.isScanner(ss) {
 			d.SuppressedScanners++
+			if d.m != nil {
+				d.m.SuppressedScanners.Inc()
+			}
 		} else {
+			if d.m != nil {
+				d.m.EventsOpened.Inc()
+				d.m.OpenEvents.Inc()
+			}
 			fs.event = &Event{
 				Victim: src, Port: srcPort,
 				First: fs.window[0].t, Last: now,
@@ -232,6 +294,9 @@ func (d *Detector) Ingest(sensorIdx int, src netaddr.Addr, srcPort uint16, ttl u
 	// accumulating forever. Deterministic: driven by ingest count only.
 	if d.ingests%4096 == 0 {
 		d.prune(now)
+	}
+	if d.m != nil {
+		d.m.FlowKeys.SetInt(int64(len(d.flows)))
 	}
 }
 
@@ -265,6 +330,10 @@ func (d *Detector) Flush(now time.Time) {
 		if fs.event != nil {
 			d.closed = append(d.closed, fs.event)
 			fs.event = nil
+			if d.m != nil {
+				d.m.EventsClosed.Inc()
+				d.m.OpenEvents.Dec()
+			}
 		}
 	}
 }

@@ -75,6 +75,14 @@ type Fleet struct {
 	Cfg      Config
 	Sensors  []*Sensor
 	Detector *Detector
+
+	m *Metrics
+}
+
+// SetMetrics attaches live instrumentation to the fleet and its detector.
+func (f *Fleet) SetMetrics(m *Metrics) {
+	f.m = m
+	f.Detector.SetMetrics(m)
 }
 
 // NewFleet builds a fleet on the given addresses. The source seeds the
@@ -249,18 +257,28 @@ func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.
 // clamped to the per-source RRL budget.
 func (s *Sensor) reply(nw *netsim.Network, trigger *packet.Datagram, payload []byte, rep int64, now time.Time) {
 	grant := s.grant(trigger.IP.Src, rep, now)
+	m := s.fleet.m
 	if grant <= 0 {
 		s.RepliesSuppressed += rep
+		if m != nil {
+			m.RepliesSuppressed.Add(rep)
+		}
 		return
 	}
 	if grant < rep {
 		s.RepliesSuppressed += rep - grant
+		if m != nil {
+			m.RepliesSuppressed.Add(rep - grant)
+		}
 	}
 	out := packet.NewDatagram(s.Addr, ntp.Port, trigger.IP.Src, trigger.UDP.SrcPort, payload)
 	out.IP.TTL = netsim.TTLLinux // sensors run on Linux boxes
 	out.Rep = grant
 	if nw.SendFrom(s.Addr, out) {
 		s.RepliesSent += grant
+		if m != nil {
+			m.RepliesSent.Add(grant)
+		}
 	}
 }
 

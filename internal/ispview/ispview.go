@@ -12,12 +12,44 @@ import (
 	"time"
 
 	"ntpddos/internal/asdb"
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
 	"ntpddos/internal/stats"
 	"ntpddos/internal/vtime"
 )
+
+// Metrics is the per-site flow-tap instrumentation, labeled by site name so
+// Merit, FRGP and CSU share one registry. Each View resolves its children
+// once at SetMetrics, keeping the tap path free of map lookups.
+type Metrics struct {
+	Packets      *metrics.CounterVec // border-crossing packets observed
+	IngressBytes *metrics.CounterVec // on-wire NTP bytes inbound (dport 123)
+	EgressBytes  *metrics.CounterVec // on-wire NTP bytes outbound (sport 123)
+	Amplifiers   *metrics.GaugeVec   // internal amplifier candidates tracked
+	Victims      *metrics.GaugeVec   // external victim candidates tracked
+	Scanners     *metrics.GaugeVec   // external scanner sources tracked
+}
+
+// NewMetrics registers the ispview family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Packets: r.NewCounterVec("ntpsim_ispview_packets_total",
+			"Rep-weighted border-crossing packets the site's tap classified.",
+			"site"),
+		IngressBytes: r.NewCounterVec("ntpsim_ispview_ingress_ntp_bytes_total",
+			"On-wire NTP bytes entering the site (udp dport 123).", "site"),
+		EgressBytes: r.NewCounterVec("ntpsim_ispview_egress_ntp_bytes_total",
+			"On-wire NTP bytes leaving the site (udp sport 123).", "site"),
+		Amplifiers: r.NewGaugeVec("ntpsim_ispview_amplifier_candidates",
+			"Internal hosts with amplifier-pattern traffic being tracked.", "site"),
+		Victims: r.NewGaugeVec("ntpsim_ispview_victim_candidates",
+			"External hosts with victim-pattern traffic being tracked.", "site"),
+		Scanners: r.NewGaugeVec("ntpsim_ispview_scanner_sources",
+			"External probing sources being tracked.", "site"),
+	}
+}
 
 // Thresholds from the paper's footnote 3 (following Rossow): a victim is a
 // client receiving at least 100 KB from an amplifier with an
@@ -125,6 +157,29 @@ type View struct {
 	// traffic plus baselines) for the 95th-percentile transit billing
 	// model.
 	billingBucket *stats.TimeSeries
+
+	// Pre-resolved metric children for this site (nil when detached).
+	mPackets  *metrics.Counter
+	mIngress  *metrics.Counter
+	mEgress   *metrics.Counter
+	mAmps     *metrics.Gauge
+	mVictims  *metrics.Gauge
+	mScanners *metrics.Gauge
+}
+
+// SetMetrics attaches live instrumentation under this view's site name.
+func (v *View) SetMetrics(m *Metrics) {
+	if m == nil {
+		v.mPackets, v.mIngress, v.mEgress = nil, nil, nil
+		v.mAmps, v.mVictims, v.mScanners = nil, nil, nil
+		return
+	}
+	v.mPackets = m.Packets.With(v.Name)
+	v.mIngress = m.IngressBytes.With(v.Name)
+	v.mEgress = m.EgressBytes.With(v.Name)
+	v.mAmps = m.Amplifiers.With(v.Name)
+	v.mVictims = m.Victims.With(v.Name)
+	v.mScanners = m.Scanners.With(v.Name)
 }
 
 // New builds a view over the given ASes' allocations.
@@ -203,6 +258,7 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 	payload := int64(len(dg.Payload)) * rep
 	v.addProto(v.proto(dg), now, float64(wire))
 	v.billingBucket.Add(now, float64(wire))
+	v.mPackets.Add(rep)
 
 	isNTP := dg.UDP.SrcPort == ntp.Port || dg.UDP.DstPort == ntp.Port
 	if !isNTP {
@@ -213,6 +269,7 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 	// Egress NTP: our host answering (sport=123) toward outside.
 	if srcIn && !dstIn && dg.UDP.SrcPort == ntp.Port {
 		v.EgressNTP.Add(now, float64(wire))
+		v.mEgress.Add(wire)
 		if mode == ntp.ModePrivate || mode == ntp.ModeControl {
 			amp := v.amp(dg.IP.Src)
 			amp.PayloadOut += payload
@@ -238,6 +295,7 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 	// Ingress NTP: outside traffic toward our hosts (dport=123).
 	if dstIn && !srcIn && dg.UDP.DstPort == ntp.Port {
 		v.IngressNTP.Add(now, float64(wire))
+		v.mIngress.Add(wire)
 		amp := v.amp(dg.IP.Dst)
 		amp.PayloadIn += payload
 		if mode == ntp.ModePrivate {
@@ -256,6 +314,7 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 					if !ok {
 						sc = &ScannerStats{Addr: dg.IP.Src, Dsts: netaddr.NewSet(0), First: now}
 						v.scanners[dg.IP.Src] = sc
+						v.mScanners.SetInt(int64(len(v.scanners)))
 					}
 					sc.Packets += rep
 					sc.Dsts.Add(dg.IP.Dst)
@@ -271,6 +330,7 @@ func (v *View) amp(a netaddr.Addr) *AmpStats {
 	if !ok {
 		s = &AmpStats{Addr: a, Victims: netaddr.NewSet(0), perVictim: make(map[netaddr.Addr]*pairStats)}
 		v.amps[a] = s
+		v.mAmps.SetInt(int64(len(v.amps)))
 	}
 	return s
 }
@@ -290,6 +350,7 @@ func (v *View) victim(a netaddr.Addr, now time.Time) *VictimStats {
 		s = &VictimStats{Addr: a, Amplifiers: netaddr.NewSet(0), First: now, Last: now,
 			Ports: stats.NewHistogram(), Hourly: stats.NewTimeSeries(vtime.Epoch, time.Hour)}
 		v.victims[a] = s
+		v.mVictims.SetInt(int64(len(v.victims)))
 	}
 	return s
 }

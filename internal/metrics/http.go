@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ContentType is the exposition format's HTTP content type (v0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Server is an HTTP exporter serving /metrics and /healthz, following the
+// production exporter shape (collector registry behind a scrape endpoint
+// plus a readiness probe): /healthz answers 503 until SetReady(true) — a
+// daemon binds its exporter early but only reports healthy once its own
+// socket is serving — and Shutdown drains in-flight scrapes gracefully.
+type Server struct {
+	reg   *Registry
+	ln    net.Listener
+	srv   *http.Server
+	ready atomic.Bool
+	done  chan struct{}
+}
+
+// Serve binds addr and serves the registry in a background goroutine. The
+// returned Server is not yet ready: call SetReady(true) once the daemon's
+// real work loop is up.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetReady flips the /healthz readiness state.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Shutdown gracefully stops the exporter, waiting for in-flight scrapes up
+// to the context deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+	}
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	if req.Method == http.MethodHead {
+		return
+	}
+	s.reg.WriteText(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

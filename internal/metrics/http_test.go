@@ -1,0 +1,164 @@
+package metrics_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/metrics/metricstest"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerHealthzGating(t *testing.T) {
+	r := metrics.NewRegistry()
+	srv, err := metrics.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + srv.Addr()
+
+	if code, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-ready /healthz = %d, want 503", code)
+	}
+	srv.SetReady(true)
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("ready /healthz = %d %q", code, body)
+	}
+	srv.SetReady(false)
+	if code, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unready /healthz = %d, want 503", code)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("pkts_total", "Packets.").Add(7)
+	metrics.RegisterGoRuntime(r)
+	srv, err := metrics.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	fams, err := metricstest.Parse(string(body))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, body)
+	}
+	if err := metricstest.Check(fams); err != nil {
+		t.Fatal(err)
+	}
+	if fams["pkts_total"] == nil || fams["pkts_total"].Samples[0].Value != 7 {
+		t.Fatalf("pkts_total lost: %+v", fams["pkts_total"])
+	}
+	if fams["go_goroutines"] == nil {
+		t.Fatal("runtime group missing from scrape")
+	}
+}
+
+// TestConcurrentScrapeWhileServing pins the race-detector cleanliness the
+// acceptance criteria demand: many goroutines hammer every metric type
+// while scrapers pull /metrics.
+func TestConcurrentScrapeWhileServing(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", metrics.DefBuckets)
+	v := r.NewCounterVec("v_total", "", "w")
+	srv, err := metrics.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReady(true)
+	defer srv.Shutdown(context.Background())
+	url := "http://" + srv.Addr() + "/metrics"
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := fmt.Sprintf("w%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%100) / 10)
+				v.With(lbl).Inc()
+			}
+		}()
+	}
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if fams, err := metricstest.Parse(string(body)); err != nil {
+					t.Errorf("mid-flight scrape does not parse: %v", err)
+				} else if err := metricstest.Check(fams); err != nil {
+					t.Errorf("mid-flight scrape inconsistent: %v", err)
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	r := metrics.NewRegistry()
+	srv, err := metrics.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+}

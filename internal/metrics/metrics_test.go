@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// Every disabled-instrumentation path must be a no-op, not a panic.
+	var r *Registry
+	c := r.NewCounter("a_total", "")
+	g := r.NewGauge("b", "")
+	h := r.NewHistogram("c", "", DefBuckets)
+	cv := r.NewCounterVec("d_total", "", "l")
+	gv := r.NewGaugeVec("e", "", "l")
+	hv := r.NewHistogramVec("f", "", DefBuckets, "l")
+	r.NewGaugeFunc("g", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	h.Observe(0.5)
+	cv.With("x").Inc()
+	gv.With("x").Set(9)
+	hv.With("x").Observe(1)
+	cv.SetMaxCardinality(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if r.RenderText() != "" {
+		t.Fatal("nil registry must render empty")
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("depth", "")
+	g.Set(10.5)
+	g.Add(-0.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 10 {
+		t.Fatalf("Value = %v, want 10", got)
+	}
+	g.SetInt(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %v, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Fatalf("Sum = %v, want 106", got)
+	}
+	cum, total, _ := h.snapshot()
+	// le=1 is inclusive: 0.5 and 1.0 land in the first bucket.
+	want := []int64{2, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (cum=%v)", i, cum[i], w, cum)
+		}
+	}
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+}
+
+func TestHistogramBoundsNormalized(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("x", "", []float64{5, 1, 1, math.Inf(+1), 2})
+	if got := len(h.bounds); got != 3 {
+		t.Fatalf("bounds = %v, want [1 2 5]", h.bounds)
+	}
+}
+
+func TestVecCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("sites_total", "", "site")
+	v.SetMaxCardinality(2)
+	v.With("a").Inc()
+	v.With("b").Inc()
+	v.With("c").Inc() // over the bound: collapses to the overflow child
+	v.With("d").Inc()
+	if got := v.With("c").Value(); got != 2 {
+		t.Fatalf("overflow child = %d, want 2", got)
+	}
+	text := r.RenderText()
+	if !strings.Contains(text, `sites_total{site="other"} 2`) {
+		t.Fatalf("no overflow sample in:\n%s", text)
+	}
+}
+
+func TestVecSameChild(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("x_total", "", "a", "b")
+	c1 := v.With("1", "2")
+	c2 := v.With("1", "2")
+	if c1 != c2 {
+		t.Fatal("same label values must return the same child")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Fatal("children out of sync")
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("c_total", "h")
+	b := r.NewCounter("c_total", "h")
+	if a != b {
+		t.Fatal("re-registration must return the existing metric")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	r.NewGauge("c_total", "h")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "sp ace", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q must panic", bad)
+				}
+			}()
+			r.NewCounter(bad, "")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("reserved __ label must panic")
+			}
+		}()
+		r.NewCounterVec("ok_total", "", "__reserved")
+	}()
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:            "0",
+		42:           "42",
+		-3:           "-3",
+		1.5:          "1.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.005:        "0.005",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		v := r.NewCounterVec("m_total", "h", "l")
+		for _, l := range []string{"z", "a", "m"} {
+			v.With(l).Add(3)
+		}
+		r.NewGauge("a_gauge", "g").Set(1)
+		return r.RenderText()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if got := build(); got != first {
+			t.Fatalf("non-deterministic encoding:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// Families sorted by name, children by label value.
+	if !strings.Contains(first, "a_gauge") || strings.Index(first, "a_gauge") > strings.Index(first, "m_total") {
+		t.Fatalf("families not sorted:\n%s", first)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	h := r.NewHistogram("h", "", []float64{1, 10, 100})
+	v := r.NewCounterVec("v_total", "", "w")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+				v.With(lbl).Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.RenderText()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,362 @@
+// Package metricstest is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), built for round-trip testing of internal/metrics:
+// everything the encoder emits must re-read through Parse and pass Check,
+// which pins label-value escaping, the +Inf histogram bucket, cumulative
+// bucket monotonicity and _sum/_count consistency. It is test support, not
+// a production scrape client — on any deviation it errors rather than
+// guessing.
+package metricstest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed time series point.
+type Sample struct {
+	// Name is the full sample name, including histogram suffixes
+	// (_bucket/_sum/_count).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: the HELP/TYPE header plus its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // "counter", "gauge", "histogram", "untyped"
+	Samples []Sample
+}
+
+// Families is a parsed exposition page keyed by family name.
+type Families map[string]*Family
+
+// Parse reads a full exposition page. Samples must follow their family's
+// TYPE line; histogram sample suffixes are attributed to the base family.
+func Parse(text string) (Families, error) {
+	fams := Families{}
+	help := map[string]string{}
+	types := map[string]string{}
+	var lineNo int
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, help, types); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		if t, ok := types[trimHistSuffix(s.Name)]; ok && t == "histogram" {
+			base = trimHistSuffix(s.Name)
+		}
+		if _, ok := types[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q before any TYPE line", lineNo, s.Name)
+		}
+		f, ok := fams[base]
+		if !ok {
+			f = &Family{Name: base, Help: help[base], Type: types[base]}
+			fams[base] = f
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	return fams, nil
+}
+
+func trimHistSuffix(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func parseComment(line string, help, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 {
+			help[fields[2]] = ""
+			return nil
+		}
+		h, err := unescape(fields[3], false)
+		if err != nil {
+			return fmt.Errorf("HELP %s: %w", fields[2], err)
+		}
+		help[fields[2]] = h
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", fields[3])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+// parseSample reads `name{l="v",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("no metric name in %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A timestamp (which our encoder never emits) would be a second field;
+	// reject it so the round-trip stays byte-level honest.
+	valStr, extra, _ := strings.Cut(rest, " ")
+	if extra != "" {
+		return s, fmt.Errorf("%s: unexpected trailing field %q", s.Name, extra)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("%s: bad value %q", s.Name, valStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func isNameChar(c byte, first bool) bool {
+	alpha := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':'
+	return alpha || (!first && c >= '0' && c <= '9')
+}
+
+// parseLabels consumes a {l="v",...} block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) {
+			i++
+		}
+		name := s[start:i]
+		if name == "" || i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("malformed label name at %q", s[start:])
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: unquoted value", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: bad escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = b.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// unescape reverses HELP escaping (and, with quoted=true, label-value
+// escaping).
+func unescape(s string, quoted bool) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		if i+1 >= len(s) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		i++
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case '"':
+			if !quoted {
+				return "", fmt.Errorf("stray \\\" in unquoted text %q", s)
+			}
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("bad escape \\%c in %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+// labelKey canonicalizes a label set minus "le" for grouping histogram
+// series.
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Check validates structural invariants over a parsed page: counters are
+// non-negative and finite where expected, and every histogram label set has
+// a +Inf bucket, monotonically non-decreasing cumulative buckets, a _sum,
+// and _count equal to the +Inf bucket.
+func Check(fams Families) error {
+	for name, f := range fams {
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Value < 0 || math.IsNaN(s.Value) {
+					return fmt.Errorf("%s: counter value %v", name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := checkHistogram(f); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+type histSeries struct {
+	buckets map[float64]float64 // le -> cumulative count
+	sum     *float64
+	count   *float64
+}
+
+func checkHistogram(f *Family) error {
+	series := map[string]*histSeries{}
+	get := func(labels map[string]string) *histSeries {
+		k := labelKey(labels)
+		h, ok := series[k]
+		if !ok {
+			h = &histSeries{buckets: map[float64]float64{}}
+			series[k] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		s := s
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("bad le value %q", le)
+			}
+			get(s.Labels).buckets[bound] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			get(s.Labels).sum = &s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			get(s.Labels).count = &s.Value
+		default:
+			return fmt.Errorf("unexpected sample %q in histogram family", s.Name)
+		}
+	}
+	for k, h := range series {
+		inf, ok := h.buckets[math.Inf(+1)]
+		if !ok {
+			return fmt.Errorf("series {%s}: no +Inf bucket", k)
+		}
+		if h.sum == nil {
+			return fmt.Errorf("series {%s}: no _sum", k)
+		}
+		if h.count == nil {
+			return fmt.Errorf("series {%s}: no _count", k)
+		}
+		if *h.count != inf {
+			return fmt.Errorf("series {%s}: _count %v != +Inf bucket %v", k, *h.count, inf)
+		}
+		bounds := make([]float64, 0, len(h.buckets))
+		for b := range h.buckets {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := 0.0
+		for _, b := range bounds {
+			if h.buckets[b] < prev {
+				return fmt.Errorf("series {%s}: bucket le=%v count %v below previous %v",
+					k, b, h.buckets[b], prev)
+			}
+			prev = h.buckets[b]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,364 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is a metric family's type.
+type Kind int
+
+// Family kinds, matching the exposition format's TYPE values.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in exposition-format vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefaultMaxCardinality bounds the distinct label sets one family will
+// materialize. Past the bound, new label sets collapse into a single
+// overflow child (every label value "other") rather than growing without
+// limit — an exporter must never be the component that OOMs the process.
+const DefaultMaxCardinality = 1024
+
+// child is one (labelValues -> metric) binding inside a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64 // counter/gauge funcs, evaluated at scrape
+}
+
+// family is one named metric with all its label permutations.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	bounds  []float64 // histogram families only
+	maxCard int
+
+	mu       sync.RWMutex
+	children map[string]*child
+	overflow *child
+}
+
+// Registry collects metric families and renders them. A nil *Registry is
+// valid everywhere: every constructor returns nil metrics, which no-op —
+// the disabled-instrumentation configuration needs no conditional wiring.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKeySep joins label values into a child-map key. 0xff never appears
+// in UTF-8 text, so joined keys cannot collide.
+const labelKeySep = "\xff"
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the named family, creating it if absent. Re-registration
+// with an identical shape returns the existing family (so re-building a
+// world against one registry is harmless); a shape mismatch panics —
+// that is a programming error, not runtime input.
+func (r *Registry) lookup(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || strings.HasPrefix(l, "__") {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %q re-registered with a different shape", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %q re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		bounds: bounds, maxCard: DefaultMaxCardinality,
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// getChild returns the family's child for the given label values, creating
+// it (or the overflow child, past maxCard) as needed.
+func (f *family) getChild(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelKeySep)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	if len(f.children) >= f.maxCard {
+		if f.overflow == nil {
+			vals := make([]string, len(f.labels))
+			for i := range vals {
+				vals[i] = "other"
+			}
+			f.overflow = f.newChild(vals)
+			f.children[strings.Join(vals, labelKeySep)] = f.overflow
+		}
+		return f.overflow
+	}
+	c = f.newChild(append([]string(nil), values...))
+	f.children[key] = c
+	return c
+}
+
+func (f *family) newChild(values []string) *child {
+	c := &child{labelValues: values}
+	switch f.kind {
+	case KindCounter:
+		c.counter = &Counter{}
+	case KindGauge:
+		c.gauge = &Gauge{}
+	case KindHistogram:
+		c.hist = newHistogram(f.bounds)
+	}
+	return c
+}
+
+// NewCounter registers (or finds) an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindCounter, nil, nil).getChild(nil).counter
+}
+
+// NewGauge registers (or finds) an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindGauge, nil, nil).getChild(nil).gauge
+}
+
+// NewHistogram registers (or finds) an unlabeled histogram over bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindHistogram, nil, bounds).getChild(nil).hist
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at scrape
+// time. fn must be safe to call from the exporter goroutine — use it for
+// process-level facts (runtime stats), never for closures over
+// single-threaded simulation state.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, KindGauge, nil, nil)
+	f.getChild(nil).fn = fn
+}
+
+// NewCounterFunc registers a counter whose value is read by fn at scrape
+// time. Same concurrency contract as NewGaugeFunc; fn must be monotonic.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, KindCounter, nil, nil)
+	f.getChild(nil).fn = fn
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a quoted label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value. Integral values render without an
+// exponent (counters read naturally); infinities use the +Inf/-Inf spelling
+// the format requires (strconv produces exactly that).
+func formatFloat(v float64) string {
+	if !math.IsInf(v, 0) && !math.IsNaN(v) &&
+		v == math.Trunc(v) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {a="x",b="y"} for the child, with extra appended last
+// (the histogram "le" label). Returns "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Output is deterministic: families sorted by name,
+// children sorted by label values. Safe to call concurrently with metric
+// writes (values are read atomically; a scrape is a consistent-enough
+// point-in-time view, per Prometheus convention).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderText returns WriteText's output as a string.
+func (r *Registry) RenderText() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	children := make([]*child, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.RUnlock()
+	if len(children) == 0 {
+		return
+	}
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range children {
+		switch f.kind {
+		case KindCounter:
+			v := float64(c.counter.Value())
+			if c.fn != nil {
+				v = c.fn()
+			}
+			fmt.Fprintf(b, "%s%s %s\n", f.name,
+				labelString(f.labels, c.labelValues, "", ""), formatFloat(v))
+		case KindGauge:
+			v := c.gauge.Value()
+			if c.fn != nil {
+				v = c.fn()
+			}
+			fmt.Fprintf(b, "%s%s %s\n", f.name,
+				labelString(f.labels, c.labelValues, "", ""), formatFloat(v))
+		case KindHistogram:
+			cum, total, sum := c.hist.snapshot()
+			for i, bound := range c.hist.bounds {
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, c.labelValues, "le", formatFloat(bound)), cum[i])
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+				labelString(f.labels, c.labelValues, "le", "+Inf"), total)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name,
+				labelString(f.labels, c.labelValues, "", ""), formatFloat(sum))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name,
+				labelString(f.labels, c.labelValues, "", ""), total)
+		}
+	}
+}

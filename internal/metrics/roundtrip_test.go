@@ -1,0 +1,158 @@
+package metrics_test
+
+// The encoder's contract is that a compliant scraper re-reads everything it
+// emits. metricstest.Parse is that scraper: strict, erroring on any
+// malformed line, with structural Check invariants for histograms
+// (+Inf bucket, cumulative monotonicity, _sum/_count agreement).
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/metrics/metricstest"
+)
+
+func parseAll(t *testing.T, r *metrics.Registry) metricstest.Families {
+	t.Helper()
+	text := r.RenderText()
+	fams, err := metricstest.Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\nin:\n%s", err, text)
+	}
+	if err := metricstest.Check(fams); err != nil {
+		t.Fatalf("check: %v\nin:\n%s", err, text)
+	}
+	return fams
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("requests_total", "Requests served.").Add(1234)
+	r.NewGauge("queue_depth", "Scheduler queue depth.").Set(17.5)
+	fams := parseAll(t, r)
+
+	c := fams["requests_total"]
+	if c == nil || c.Type != "counter" || c.Help != "Requests served." {
+		t.Fatalf("counter family mangled: %+v", c)
+	}
+	if len(c.Samples) != 1 || c.Samples[0].Value != 1234 {
+		t.Fatalf("counter sample mangled: %+v", c.Samples)
+	}
+	g := fams["queue_depth"]
+	if g == nil || g.Samples[0].Value != 17.5 {
+		t.Fatalf("gauge sample mangled: %+v", g)
+	}
+}
+
+func TestRoundTripLabelEscaping(t *testing.T) {
+	// Label values with every character the format escapes, plus unicode.
+	hostile := []string{
+		`plain`,
+		`back\slash`,
+		`qu"ote`,
+		"new\nline",
+		`all three \ " ` + "\n together",
+		`trailing backslash \`,
+		"ünïcødé — π",
+	}
+	r := metrics.NewRegistry()
+	v := r.NewCounterVec("hostile_total", `Help with \ backslash and`+"\nnewline.", "val")
+	for i, h := range hostile {
+		v.With(h).Add(int64(i + 1))
+	}
+	fams := parseAll(t, r)
+	f := fams["hostile_total"]
+	if f == nil {
+		t.Fatal("family lost")
+	}
+	if f.Help != `Help with \ backslash and`+"\nnewline." {
+		t.Fatalf("help not round-tripped: %q", f.Help)
+	}
+	got := map[string]float64{}
+	for _, s := range f.Samples {
+		got[s.Labels["val"]] = s.Value
+	}
+	for i, h := range hostile {
+		if got[h] != float64(i+1) {
+			t.Fatalf("label %q not round-tripped (got %v)", h, got)
+		}
+	}
+}
+
+func TestRoundTripHistogram(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.NewHistogram("resp_bytes", "Response sizes.",
+		metrics.ExponentialBuckets(64, 4, 6))
+	for _, v := range []float64{10, 64, 65, 500, 1e6, 1e9} {
+		h.Observe(v)
+	}
+	fams := parseAll(t, r) // Check pins +Inf, monotonicity, _sum/_count
+	f := fams["resp_bytes"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family mangled: %+v", f)
+	}
+	var infCount, count, sum float64
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket") && s.Labels["le"] == "+Inf":
+			infCount = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		}
+	}
+	if infCount != 6 || count != 6 {
+		t.Fatalf("+Inf %v / count %v, want 6/6", infCount, count)
+	}
+	if math.Abs(sum-(10+64+65+500+1e6+1e9)) > 1 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestRoundTripLabeledHistogram(t *testing.T) {
+	r := metrics.NewRegistry()
+	hv := r.NewHistogramVec("op_seconds", "", []float64{0.1, 1}, "op", "site")
+	hv.With("scan", `we"ird`).Observe(0.05)
+	hv.With("scan", `we"ird`).Observe(5)
+	hv.With("sweep", "plain").Observe(0.5)
+	fams := parseAll(t, r)
+	f := fams["op_seconds"]
+	if f == nil {
+		t.Fatal("family lost")
+	}
+	// 2 series × (3 buckets + sum + count) = 10 samples.
+	if len(f.Samples) != 10 {
+		t.Fatalf("got %d samples, want 10: %+v", len(f.Samples), f.Samples)
+	}
+}
+
+func TestRoundTripGoRuntime(t *testing.T) {
+	r := metrics.NewRegistry()
+	metrics.RegisterGoRuntime(r)
+	fams := parseAll(t, r)
+	if f := fams["go_goroutines"]; f == nil || f.Samples[0].Value < 1 {
+		t.Fatalf("go_goroutines missing or zero: %+v", f)
+	}
+	if f := fams["go_gc_cycles_total"]; f == nil || f.Type != "counter" {
+		t.Fatalf("go_gc_cycles_total mangled: %+v", f)
+	}
+}
+
+func TestParserRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"# TYPE x flavor\nx 1\n",
+		"x{l=\"unterminated} 1\n",
+		"x{l=\"v\"} \n",
+		"x{l=\"bad\\q\"} 1\n",
+		"1leading 2\n",
+		"# TYPE x counter\nx 1 2 3\n",
+	}
+	for _, text := range bad {
+		if _, err := metricstest.Parse(text); err == nil {
+			t.Errorf("parser accepted %q", text)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches runtime.ReadMemStats across the several gauge funcs of
+// one scrape: ReadMemStats stops the world, so it must run once per scrape,
+// not once per sample.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	last runtime.MemStats
+}
+
+func (m *memReader) get() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if time.Since(m.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&m.last)
+		m.at = time.Now()
+	}
+	return m.last
+}
+
+// RegisterGoRuntime adds the built-in Go runtime group: goroutine count,
+// heap occupancy and garbage-collection progress. These are the only
+// metrics in the subsystem that read wall-clock-adjacent process state;
+// they are computed at scrape time and never touch simulation state.
+func RegisterGoRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	mr := &memReader{}
+	r.NewGaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.NewGaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(mr.get().HeapAlloc) })
+	r.NewGaugeFunc("go_heap_objects",
+		"Number of allocated heap objects.",
+		func() float64 { return float64(mr.get().HeapObjects) })
+	r.NewGaugeFunc("go_heap_sys_bytes",
+		"Heap memory obtained from the OS.",
+		func() float64 { return float64(mr.get().HeapSys) })
+	r.NewGaugeFunc("go_next_gc_bytes",
+		"Heap size at which the next GC cycle starts.",
+		func() float64 { return float64(mr.get().NextGC) })
+	r.NewCounterFunc("go_gc_cycles_total",
+		"Completed garbage-collection cycles.",
+		func() float64 { return float64(mr.get().NumGC) })
+	r.NewCounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(mr.get().PauseTotalNs) / 1e9 })
+	r.NewCounterFunc("go_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap.",
+		func() float64 { return float64(mr.get().TotalAlloc) })
+}

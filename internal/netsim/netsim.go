@@ -14,6 +14,7 @@ package netsim
 import (
 	"time"
 
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/packet"
 	"ntpddos/internal/vtime"
@@ -63,6 +64,52 @@ type Network struct {
 	hosts  map[netaddr.Addr]Host
 	taps   []Tap
 	stats  Stats
+	m      *Metrics
+}
+
+// Metrics is the fabric's optional live instrumentation. All counters are
+// Rep-weighted, mirroring Stats; writes are atomic and never touch RNG or
+// scheduler state, so an instrumented run is behaviourally identical to an
+// uninstrumented one.
+type Metrics struct {
+	Sent         *metrics.Counter
+	Delivered    *metrics.Counter
+	Dark         *metrics.Counter
+	DroppedSpoof *metrics.Counter
+	Expired      *metrics.Counter
+	Bytes        *metrics.Counter
+	TapFanout    *metrics.Counter
+	Hosts        *metrics.Gauge
+}
+
+// NewMetrics registers the fabric family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Sent: r.NewCounter("ntpsim_fabric_packets_sent_total",
+			"Rep-weighted packets accepted from senders."),
+		Delivered: r.NewCounter("ntpsim_fabric_packets_delivered_total",
+			"Rep-weighted packets handed to a registered host."),
+		Dark: r.NewCounter("ntpsim_fabric_packets_dark_total",
+			"Rep-weighted packets to unregistered addresses (darknet)."),
+		DroppedSpoof: r.NewCounter("ntpsim_fabric_packets_spoof_dropped_total",
+			"Rep-weighted spoofed packets blocked by BCP38 at the source."),
+		Expired: r.NewCounter("ntpsim_fabric_packets_ttl_expired_total",
+			"Rep-weighted packets whose TTL expired in transit."),
+		Bytes: r.NewCounter("ntpsim_fabric_bytes_sent_total",
+			"Rep-weighted on-wire bytes of accepted packets."),
+		TapFanout: r.NewCounter("ntpsim_fabric_tap_observations_total",
+			"Tap Observe calls (one per attached tap per real datagram)."),
+		Hosts: r.NewGauge("ntpsim_fabric_hosts",
+			"Currently registered fabric hosts."),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) live instrumentation.
+func (n *Network) SetMetrics(m *Metrics) {
+	n.m = m
+	if m != nil {
+		m.Hosts.SetInt(int64(len(n.hosts)))
+	}
 }
 
 // New builds a fabric on the given scheduler. A nil policy permits all
@@ -83,10 +130,20 @@ func (n *Network) Now() time.Time { return n.sched.Clock().Now() }
 
 // Register binds a host to an address. Registering over an existing binding
 // replaces it (DHCP churn re-binds residential amplifiers this way).
-func (n *Network) Register(a netaddr.Addr, h Host) { n.hosts[a] = h }
+func (n *Network) Register(a netaddr.Addr, h Host) {
+	n.hosts[a] = h
+	if n.m != nil {
+		n.m.Hosts.SetInt(int64(len(n.hosts)))
+	}
+}
 
 // Unregister removes a binding.
-func (n *Network) Unregister(a netaddr.Addr) { delete(n.hosts, a) }
+func (n *Network) Unregister(a netaddr.Addr) {
+	delete(n.hosts, a)
+	if n.m != nil {
+		n.m.Hosts.SetInt(int64(len(n.hosts)))
+	}
+}
 
 // IsRegistered reports whether an address has a live host.
 func (n *Network) IsRegistered(a netaddr.Addr) bool {
@@ -139,16 +196,26 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 	}
 	if dg.IP.Src != origin && !n.policy(origin, dg.IP.Src) {
 		n.stats.DroppedSpoof += rep
+		if n.m != nil {
+			n.m.DroppedSpoof.Add(rep)
+		}
 		return false
 	}
 	n.stats.Sent += rep
 	n.stats.BytesOnWire += int64(dg.OnWire()) * rep
+	if n.m != nil {
+		n.m.Sent.Add(rep)
+		n.m.Bytes.Add(int64(dg.OnWire()) * rep)
+	}
 
 	// The path is computed from the true origin: TTL decay reveals the
 	// sender's distance regardless of the claimed source — the very signal
 	// the §7.2 TTL analysis exploits.
 	hops := PathHops(origin, dg.IP.Dst)
 	if int(dg.IP.TTL) <= hops {
+		if n.m != nil {
+			n.m.Expired.Add(rep)
+		}
 		return false // expired in transit
 	}
 	delivered := *dg // shallow copy; payload sharing is fine, fabric never mutates it
@@ -158,6 +225,9 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 	for _, t := range n.taps {
 		t.Observe(&delivered, n.Now())
 	}
+	if n.m != nil {
+		n.m.TapFanout.Add(int64(len(n.taps)))
+	}
 
 	dst := dg.IP.Dst
 	latency := PathLatency(origin, dst)
@@ -165,9 +235,15 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 		h, ok := n.hosts[dst]
 		if !ok {
 			n.stats.Dark += rep
+			if n.m != nil {
+				n.m.Dark.Add(rep)
+			}
 			return
 		}
 		n.stats.Delivered += rep
+		if n.m != nil {
+			n.m.Delivered.Add(rep)
+		}
 		h.HandlePacket(n, &delivered, now)
 	})
 	return true

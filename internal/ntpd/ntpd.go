@@ -18,11 +18,57 @@ import (
 	"fmt"
 	"time"
 
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
 )
+
+// Metrics aggregates live instrumentation over the whole daemon population.
+// One shared struct rides in Config (so it survives DHCP re-binds and mega
+// rebuilds); per-daemon label cardinality at population scale would be
+// unscrapeable, so counters are population totals. Query counters are
+// pre-resolved children of one mode-labeled family, keeping the per-packet
+// cost to a single atomic add. All values are Rep-weighted.
+type Metrics struct {
+	QueriesClient *metrics.Counter // mode 3 time requests
+	QueriesMode7  *metrics.Counter // private-mode (monlist et al.) requests
+	QueriesMode6  *metrics.Counter // control-mode (readvar) requests
+	QueriesOther  *metrics.Counter // anything else recorded but unanswered
+
+	MonlistSent *metrics.Counter // monlist response packets emitted
+	Mode6Sent   *metrics.Counter // readvar response packets emitted
+	BytesSent   *metrics.Counter // on-wire response bytes, all kinds
+	MegaStorms  *metrics.Counter // §3.4 replay storms triggered
+
+	// MRUEntries tracks live monitor-table entries summed over the
+	// population; see DetachMRU for table teardown accounting.
+	MRUEntries *metrics.Gauge
+}
+
+// NewMetrics registers the daemon family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	q := r.NewCounterVec("ntpsim_ntpd_queries_total",
+		"Rep-weighted queries received by the daemon population, by NTP mode.",
+		"mode")
+	return &Metrics{
+		QueriesClient: q.With("client"),
+		QueriesMode7:  q.With("mode7"),
+		QueriesMode6:  q.With("mode6"),
+		QueriesOther:  q.With("other"),
+		MonlistSent: r.NewCounter("ntpsim_ntpd_monlist_packets_total",
+			"Rep-weighted monlist response packets emitted."),
+		Mode6Sent: r.NewCounter("ntpsim_ntpd_mode6_packets_total",
+			"Rep-weighted readvar (version) response packets emitted."),
+		BytesSent: r.NewCounter("ntpsim_ntpd_response_bytes_total",
+			"Rep-weighted on-wire response bytes emitted, all query kinds."),
+		MegaStorms: r.NewCounter("ntpsim_ntpd_mega_storms_total",
+			"Mega-amplifier replay storms triggered (§3.4)."),
+		MRUEntries: r.NewGauge("ntpsim_ntpd_mru_entries",
+			"Live MRU monitor-table entries summed over the population."),
+	}
+}
 
 // Config describes one simulated daemon.
 type Config struct {
@@ -72,6 +118,11 @@ type Config struct {
 	MegaEvents int
 	// MegaInterval is the spacing between replay events.
 	MegaInterval time.Duration
+
+	// Metrics, when non-nil, attaches population-level live instrumentation.
+	// Riding in Config means the pointer survives every place the scenario
+	// copies a Config to rebuild a daemon (DHCP churn, mega rebuilds).
+	Metrics *Metrics
 }
 
 // Server is a simulated daemon. It implements netsim.Host.
@@ -161,6 +212,18 @@ func (s *Server) Record(addr netaddr.Addr, port uint16, mode, version uint8, rep
 	if rep <= 0 {
 		rep = 1
 	}
+	if m := s.cfg.Metrics; m != nil {
+		switch mode {
+		case ntp.ModeClient:
+			m.QueriesClient.Add(rep)
+		case ntp.ModePrivate:
+			m.QueriesMode7.Add(rep)
+		case ntp.ModeControl:
+			m.QueriesMode6.Add(rep)
+		default:
+			m.QueriesOther.Add(rep)
+		}
+	}
 	s.mruGen++
 	if el, ok := s.index[addr]; ok {
 		e := el.Value.(*mruEntry)
@@ -175,10 +238,16 @@ func (s *Server) Record(addr netaddr.Addr, port uint16, mode, version uint8, rep
 	e := &mruEntry{addr: addr, port: port, mode: mode, version: version,
 		count: rep, firstSeen: now, lastSeen: now}
 	s.index[addr] = s.mru.PushFront(e)
+	if m := s.cfg.Metrics; m != nil {
+		m.MRUEntries.Inc()
+	}
 	for s.mru.Len() > ntp.MaxMonlistEntries {
 		back := s.mru.Back()
 		delete(s.index, back.Value.(*mruEntry).addr)
 		s.mru.Remove(back)
+		if m := s.cfg.Metrics; m != nil {
+			m.MRUEntries.Dec()
+		}
 	}
 }
 
@@ -196,7 +265,19 @@ func (s *Server) ExpireOlderThan(cutoff time.Time) {
 			delete(s.index, e.addr)
 			s.mru.Remove(el)
 			s.mruGen++
+			if m := s.cfg.Metrics; m != nil {
+				m.MRUEntries.Dec()
+			}
 		}
+	}
+}
+
+// DetachMRU settles the population MRU gauge when this daemon's table is
+// being discarded wholesale (a mega rebuild replaces the Server object).
+// Without it the gauge would leak the dead table's entries forever.
+func (s *Server) DetachMRU() {
+	if m := s.cfg.Metrics; m != nil {
+		m.MRUEntries.Add(float64(-s.mru.Len()))
 	}
 }
 
@@ -249,7 +330,7 @@ func (s *Server) Respond(payload []byte, src netaddr.Addr, srcPort uint16, now t
 			return nil
 		}
 		s.Record(src, srcPort, ntp.ModeClient, req.Version, 1, now)
-		return [][]byte{ntp.NewServerReply(&req, uint8(s.cfg.Stratum), now).AppendTo(nil)}
+		return s.countResponse(nil, [][]byte{ntp.NewServerReply(&req, uint8(s.cfg.Stratum), now).AppendTo(nil)})
 	case ntp.ModePrivate:
 		m, err := ntp.DecodeMode7(payload)
 		if err != nil || m.Response {
@@ -262,9 +343,9 @@ func (s *Server) Respond(payload []byte, src netaddr.Addr, srcPort uint16, now t
 		}
 		switch m.Request {
 		case ntp.ReqMonGetList, ntp.ReqMonGetList1:
-			return s.monlistFragments(m.Request, 1, now)
+			return s.countResponse(s.cfg.Metrics.monlistCounter(), s.monlistFragments(m.Request, 1, now))
 		case ntp.ReqPeerList:
-			return ntp.BuildPeerListResponse(s.peerEntries(), s.cfg.Implementation)
+			return s.countResponse(nil, ntp.BuildPeerListResponse(s.peerEntries(), s.cfg.Implementation))
 		}
 		return nil
 	case ntp.ModeControl:
@@ -276,11 +357,40 @@ func (s *Server) Respond(payload []byte, src netaddr.Addr, srcPort uint16, now t
 		if !s.cfg.Mode6Enabled || m.OpCode != ntp.OpReadVar {
 			return nil
 		}
-		return ntp.BuildReadVarResponse(m.Sequence, s.readVarText())
+		return s.countResponse(s.cfg.Metrics.mode6Counter(), ntp.BuildReadVarResponse(m.Sequence, s.readVarText()))
 	default:
 		s.Record(src, srcPort, uint8(mode), 0, 1, now)
 		return nil
 	}
+}
+
+// monlistCounter and mode6Counter are nil-safe accessors so the Respond path
+// can thread a per-flavour packet counter without guarding every call site.
+func (m *Metrics) monlistCounter() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.MonlistSent
+}
+
+func (m *Metrics) mode6Counter() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Mode6Sent
+}
+
+// countResponse instruments the socket-serving Respond path: each returned
+// payload is one response packet sent by the caller. kind, when non-nil, is
+// the per-flavour packet counter.
+func (s *Server) countResponse(kind *metrics.Counter, frags [][]byte) [][]byte {
+	if m := s.cfg.Metrics; m != nil {
+		kind.Add(int64(len(frags)))
+		for _, f := range frags {
+			m.BytesSent.Add(int64(packet.OnWireBytesForUDPPayload(len(f))))
+		}
+	}
+	return frags
 }
 
 // readVarText renders the daemon's system-variable response body.
@@ -360,6 +470,9 @@ func (s *Server) handleMode7(nw *netsim.Network, dg *packet.Datagram, now time.T
 			out.Rep = dg.Rep
 			if nw.SendFrom(s.cfg.Addr, out) {
 				s.BytesSent += int64(out.OnWire()) * out.Rep
+				if m := s.cfg.Metrics; m != nil {
+					m.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+				}
 			}
 		}
 	}
@@ -385,6 +498,10 @@ func (s *Server) sendMonlist(nw *netsim.Network, trigger *packet.Datagram, reqCo
 		if nw.SendFrom(s.cfg.Addr, out) {
 			s.MonlistSent += out.Rep
 			s.BytesSent += int64(out.OnWire()) * out.Rep
+			if m := s.cfg.Metrics; m != nil {
+				m.MonlistSent.Add(out.Rep)
+				m.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+			}
 		}
 	}
 }
@@ -416,6 +533,9 @@ func (s *Server) startMegaReplay(nw *netsim.Network, trigger *packet.Datagram, r
 		return
 	}
 	events := s.cfg.MegaEvents
+	if m := s.cfg.Metrics; m != nil {
+		m.MegaStorms.Inc()
+	}
 	s.megaUntil = nw.Now().Add(time.Duration(events+1) * s.cfg.MegaInterval)
 	perEvent := s.cfg.MegaRepeats / int64(events)
 	if perEvent <= 0 {
@@ -451,6 +571,10 @@ func (s *Server) handleMode6(nw *netsim.Network, dg *packet.Datagram, now time.T
 		out.Rep = dg.Rep
 		if nw.SendFrom(s.cfg.Addr, out) {
 			s.BytesSent += int64(out.OnWire()) * out.Rep
+			if mm := s.cfg.Metrics; mm != nil {
+				mm.Mode6Sent.Add(out.Rep)
+				mm.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+			}
 		}
 	}
 }
@@ -469,5 +593,8 @@ func (s *Server) reply(nw *netsim.Network, dg *packet.Datagram, payload []byte) 
 	out.Rep = dg.Rep
 	if nw.SendFrom(s.cfg.Addr, out) {
 		s.BytesSent += int64(out.OnWire()) * out.Rep
+		if m := s.cfg.Metrics; m != nil {
+			m.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+		}
 	}
 }

@@ -1,10 +1,15 @@
 package ntpd
 
 import (
+	"context"
+	"io"
 	"net"
+	"net/http"
 	"testing"
 	"time"
 
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/metrics/metricstest"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
 )
@@ -153,6 +158,71 @@ func TestRealUDPClientMode(t *testing.T) {
 	}
 	if h.Mode != ntp.ModeServer || h.Stratum != 3 {
 		t.Fatalf("reply %+v", h)
+	}
+}
+
+// TestRealUDPScrape is the cmd/ntpdsim acceptance path at package level: a
+// metrics-instrumented daemon serving real UDP whose /metrics endpoint,
+// scraped over real HTTP mid-traffic, parses cleanly and shows the queries.
+func TestRealUDPScrape(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv := New(Config{Addr: 0, MonlistEnabled: true, Mode6Enabled: true,
+		Stratum: 2, Metrics: NewMetrics(reg),
+		Profile: Profile{SystemString: "linux", TTL: 64}})
+	for i := 0; i < 10; i++ {
+		srv.Record(netaddr.Addr(0x0a000000+uint32(i)), ntp.Port, ntp.ModeClient, 4, 1, time.Now())
+	}
+	addr, stop := serveUDP(t, srv)
+	defer stop()
+
+	exp, err := metrics.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		exp.Shutdown(ctx)
+	}()
+	exp.SetReady(true)
+
+	if got := exchange(t, addr, ntp.NewMonlistRequest(ntp.ImplXNTPD, ntp.ReqMonGetList1)); len(got) == 0 {
+		t.Fatal("no monlist response")
+	}
+	if got := exchange(t, addr, ntp.NewReadVarRequest(3)); len(got) == 0 {
+		t.Fatal("no readvar response")
+	}
+
+	resp, err := http.Get("http://" + exp.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metricstest.Parse(string(body))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if err := metricstest.Check(fams); err != nil {
+		t.Fatalf("scrape inconsistent: %v", err)
+	}
+	queries := fams["ntpsim_ntpd_queries_total"]
+	if queries == nil {
+		t.Fatalf("no ntpsim_ntpd_queries_total in scrape:\n%s", body)
+	}
+	var total float64
+	for _, s := range queries.Samples {
+		total += s.Value
+	}
+	if total < 2 {
+		t.Fatalf("queries_total = %v, want >= 2 (monlist + readvar)", total)
+	}
+	mru := fams["ntpsim_ntpd_mru_entries"]
+	if mru == nil || len(mru.Samples) == 0 || mru.Samples[0].Value != float64(srv.MRULen()) {
+		t.Fatalf("mru gauge %+v, table has %d entries", mru, srv.MRULen())
 	}
 }
 

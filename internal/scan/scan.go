@@ -8,11 +8,63 @@ import (
 	"fmt"
 	"time"
 
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/packet"
 	"ntpddos/internal/vtime"
 )
+
+// Metrics is the scanner's optional live instrumentation, labeled by sweep
+// kind ("monlist", "version") so the two ONP surveys stay distinguishable on
+// one registry. All writes are atomic and free of behavioural effect.
+type Metrics struct {
+	Probes     *metrics.CounterVec // probes accepted by the fabric
+	RespPkts   *metrics.CounterVec // Rep-weighted response packets correlated
+	RespBytes  *metrics.CounterVec // Rep-weighted response bytes
+	Responders *metrics.GaugeVec   // responders in the sweep now in flight
+	Sweeps     *metrics.CounterVec // completed sweeps (one per RunSample)
+}
+
+// NewMetrics registers the scan family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Probes: r.NewCounterVec("ntpsim_scan_probes_sent_total",
+			"Probe packets accepted by the fabric.", "kind"),
+		RespPkts: r.NewCounterVec("ntpsim_scan_response_packets_total",
+			"Rep-weighted response packets correlated to a target.", "kind"),
+		RespBytes: r.NewCounterVec("ntpsim_scan_response_bytes_total",
+			"Rep-weighted response bytes correlated to a target.", "kind"),
+		Responders: r.NewGaugeVec("ntpsim_scan_responders",
+			"Distinct responders correlated in the sweep now in flight.", "kind"),
+		Sweeps: r.NewCounterVec("ntpsim_scan_sweeps_completed_total",
+			"Survey sweeps completed.", "kind"),
+	}
+}
+
+// kindView is the per-prober slice of Metrics: plain children resolved once
+// so the per-packet path costs atomic ops, not map lookups.
+type kindView struct {
+	probes     *metrics.Counter
+	respPkts   *metrics.Counter
+	respBytes  *metrics.Counter
+	responders *metrics.Gauge
+	sweeps     *metrics.Counter
+}
+
+// view resolves the children for one sweep kind. Nil-safe.
+func (m *Metrics) view(kind string) *kindView {
+	if m == nil {
+		return nil
+	}
+	return &kindView{
+		probes:     m.Probes.With(kind),
+		respPkts:   m.RespPkts.With(kind),
+		respBytes:  m.RespBytes.With(kind),
+		responders: m.Responders.With(kind),
+		sweeps:     m.Sweeps.With(kind),
+	}
+}
 
 // Permutation enumerates [0, n) in a pseudorandom order with full cycle —
 // the property zmap relies on to spread probes across the address space so
@@ -143,7 +195,11 @@ type Prober struct {
 
 	Sent      int64
 	responses map[netaddr.Addr]*Response
+	mv        *kindView
 }
+
+// SetMetrics attaches live instrumentation under the given sweep kind.
+func (p *Prober) SetMetrics(m *Metrics, kind string) { p.mv = m.view(kind) }
 
 // NewProber builds a prober with payload retention on.
 func NewProber(addr netaddr.Addr, srcPort uint16) *Prober {
@@ -160,6 +216,9 @@ func (p *Prober) HandlePacket(_ *netsim.Network, dg *packet.Datagram, now time.T
 	if !ok {
 		r = &Response{Target: dg.IP.Src, First: now}
 		p.responses[dg.IP.Src] = r
+		if p.mv != nil {
+			p.mv.responders.SetInt(int64(len(p.responses)))
+		}
 	}
 	rep := dg.Rep
 	if rep <= 0 {
@@ -168,6 +227,10 @@ func (p *Prober) HandlePacket(_ *netsim.Network, dg *packet.Datagram, now time.T
 	r.Packets += rep
 	r.Bytes += int64(dg.OnWire()) * rep
 	r.Last = now
+	if p.mv != nil {
+		p.mv.respPkts.Add(rep)
+		p.mv.respBytes.Add(int64(dg.OnWire()) * rep)
+	}
 	if p.KeepPayloads && len(r.Payloads) < p.MaxPayloadsPerTarget {
 		r.Payloads = append(r.Payloads, dg.Payload)
 		r.TTLs = append(r.TTLs, dg.IP.TTL)
@@ -193,6 +256,9 @@ func (p *Prober) Sweep(nw *netsim.Network, targets []netaddr.Addr, dstPort uint1
 		sched.At(start.Add(time.Duration(i)*step), func(now time.Time) {
 			if nw.SendUDP(p.Addr, p.SrcPort, target, dstPort, p.TTL, payload) {
 				p.Sent++
+				if p.mv != nil {
+					p.mv.probes.Inc()
+				}
 			}
 		})
 	}
@@ -215,6 +281,9 @@ func (p *Prober) ResponderSet() netaddr.Set {
 func (p *Prober) Clear() {
 	p.responses = make(map[netaddr.Addr]*Response)
 	p.Sent = 0
+	if p.mv != nil {
+		p.mv.responders.SetInt(0)
+	}
 }
 
 // Sample is the outcome of one survey sweep — the unit the ONP publishes
@@ -255,6 +324,9 @@ func (s *Survey) RunSample(date time.Time, targets []netaddr.Addr) *Sample {
 	sample.Responses = s.Prober.Responses()
 	s.Prober.responses = make(map[netaddr.Addr]*Response)
 	s.Samples = append(s.Samples, sample)
+	if s.Prober.mv != nil {
+		s.Prober.mv.sweeps.Inc()
+	}
 	return sample
 }
 

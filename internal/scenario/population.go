@@ -144,6 +144,7 @@ func (w *World) newAmplifierConfig(addr netaddr.Addr, role ntpd.Role) ntpd.Confi
 		Implementation: impl,
 		ReqCode:        reqCode,
 		ExtraVarBytes:  w.extraVarBytes(),
+		Metrics:        w.ntpdM,
 	}
 }
 
@@ -257,6 +258,7 @@ func (w *World) buildServers() {
 				Addr: addr, Stratum: stratum, Profile: profile,
 				MonlistEnabled: false, Mode6Enabled: true,
 				ExtraVarBytes: w.extraVarBytes(),
+				Metrics:       w.ntpdM,
 			})
 		})
 		placedPlain += len(batch)
@@ -307,6 +309,9 @@ func (w *World) assignMegas() {
 }
 
 func (w *World) makeMega(s *server, repeats int64, role ntpd.Role) {
+	// The rebuilt daemon starts with an empty monitor table; release the old
+	// table's contribution to the MRU-entries gauge before discarding it.
+	s.srv.DetachMRU()
 	cfg := s.srv.Config()
 	cfg.MegaAmp = true
 	cfg.MegaRepeats = repeats

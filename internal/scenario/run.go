@@ -98,6 +98,7 @@ func (w *World) Run() *Results {
 	}
 
 	monProber := scan.NewProber(w.ONPAddr, 57915)
+	monProber.SetMetrics(w.scanM, "monlist")
 	w.Net.Register(monProber.Addr, monProber)
 	monSurvey := &scan.Survey{
 		Prober: monProber, Network: w.Net, Kind: "monlist", DstPort: ntp.Port,
@@ -106,6 +107,7 @@ func (w *World) Run() *Results {
 	}
 	verAddr := w.ONPAddr + 1
 	verProber := scan.NewProber(verAddr, 41001)
+	verProber.SetMetrics(w.scanM, "version")
 	w.Net.Register(verAddr, verProber)
 	w.Telescope.RegisterBenign(verAddr)
 	verSurvey := &scan.Survey{
@@ -380,6 +382,9 @@ func (w *World) applyDHCPChurn() {
 		old := s.srv.Addr()
 		w.patch(s)
 		w.Net.Unregister(old)
+		// The old binding's monitor table is frozen forever (no amplifier, no
+		// expiry pass will touch it again); release it from the MRU gauge.
+		s.srv.DetachMRU()
 		block := old.Slash24()
 		fresh := block.Nth(uint64(w.Src.IntN(256)))
 		if _, taken := w.Servers[fresh]; taken {

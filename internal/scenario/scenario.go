@@ -24,11 +24,13 @@ import (
 	"ntpddos/internal/darknet"
 	"ntpddos/internal/honeypot"
 	"ntpddos/internal/ispview"
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntpd"
 	"ntpddos/internal/pbl"
 	"ntpddos/internal/rng"
+	"ntpddos/internal/scan"
 	"ntpddos/internal/telemetry"
 	"ntpddos/internal/vtime"
 )
@@ -78,6 +80,14 @@ type Config struct {
 	// file (monlist-YYYY-MM-DD.pcap) in that directory — the dataset
 	// interchange format; cmd/onpdump re-analyses the files.
 	PCAPDir string
+
+	// Metrics, when non-nil, attaches live instrumentation to every layer of
+	// the world (fabric, scheduler, daemons, scanners, attack engine,
+	// honeypots, telemetry, ISP views). The registry can then be served over
+	// HTTP (see internal/metrics.Serve). Instrumentation is provably free of
+	// behavioural effect: metric writes never touch RNG or scheduler state,
+	// so report digests are identical with Metrics nil or set.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig is the benchmark configuration.
@@ -206,6 +216,12 @@ type World struct {
 	// favorites accumulate fat victim tables and dominate Figure 5's
 	// amplifier-AS concentration.
 	favorites []netaddr.Addr
+
+	// ntpdM is the population-level daemon instrumentation (nil when
+	// Config.Metrics is nil); it rides in every ntpd.Config the world builds.
+	ntpdM *ntpd.Metrics
+	// scanM is the survey instrumentation shared by the ONP probers.
+	scanM *scan.Metrics
 }
 
 type victimSpec struct {
@@ -273,6 +289,18 @@ func Build(cfg Config) *World {
 		nw.AddTap(v)
 	}
 
+	if cfg.Metrics != nil {
+		sched.SetMetrics(vtime.NewMetrics(cfg.Metrics))
+		nw.SetMetrics(netsim.NewMetrics(cfg.Metrics))
+		w.ntpdM = ntpd.NewMetrics(cfg.Metrics)
+		w.scanM = scan.NewMetrics(cfg.Metrics)
+		w.Collector.SetMetrics(telemetry.NewMetrics(cfg.Metrics))
+		vm := ispview.NewMetrics(cfg.Metrics)
+		for _, v := range w.Views {
+			v.SetMetrics(vm)
+		}
+	}
+
 	w.buildServers()
 	w.buildLocalAmplifiers(merit, csu, frgp)
 	w.buildVictims()
@@ -282,6 +310,12 @@ func Build(cfg Config) *World {
 	w.placeSensors()
 
 	w.Engine = attack.NewEngine(nw, src.Fork("attack"), w.botAddrs)
+	if cfg.Metrics != nil {
+		w.Engine.Metrics = attack.NewMetrics(cfg.Metrics)
+		if w.Honeypots != nil {
+			w.Honeypots.SetMetrics(honeypot.NewMetrics(cfg.Metrics))
+		}
+	}
 	if w.Honeypots != nil {
 		// Scanners harvest the always-responsive sensors into booter lists;
 		// from then on each campaign drags some of the fleet in. The draws

@@ -16,11 +16,42 @@ import (
 	"time"
 
 	"ntpddos/internal/dns"
+	"ntpddos/internal/metrics"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
 	"ntpddos/internal/stats"
 	"ntpddos/internal/vtime"
 )
+
+// Metrics is the global-telemetry ingest instrumentation: visibility-scaled
+// bytes accrued per protocol (tap and aggregate paths separately) and
+// labeled attack records. Pre-resolved children keep the tap path to one
+// atomic add per packet.
+type Metrics struct {
+	TapNTPBytes *metrics.Counter
+	TapDNSBytes *metrics.Counter
+	AggNTPBytes *metrics.Counter
+	AggDNSBytes *metrics.Counter
+	Attacks     *metrics.Counter
+}
+
+// NewMetrics registers the telemetry family on r (nil r yields no-ops).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	tap := r.NewCounterVec("ntpsim_telemetry_tap_bytes_total",
+		"Visibility-scaled bytes accrued from the fabric tap, by protocol.",
+		"proto")
+	agg := r.NewCounterVec("ntpsim_telemetry_aggregate_bytes_total",
+		"Bytes accrued from the analytic attack-volume model, by protocol.",
+		"proto")
+	return &Metrics{
+		TapNTPBytes: tap.With("ntp"),
+		TapDNSBytes: tap.With("dns"),
+		AggNTPBytes: agg.With("ntp"),
+		AggDNSBytes: agg.With("dns"),
+		Attacks: r.NewCounter("ntpsim_telemetry_attacks_recorded_total",
+			"Labeled attack records ingested."),
+	}
+}
 
 // Protocol classes tracked by the collector.
 type Protocol int
@@ -87,7 +118,11 @@ type Collector struct {
 	ntpDailyBytes *stats.TimeSeries
 	dnsDailyBytes *stats.TimeSeries
 	attacks       []Attack
+	m             *Metrics
 }
+
+// SetMetrics attaches (or, with nil, detaches) live instrumentation.
+func (c *Collector) SetMetrics(m *Metrics) { c.m = m }
 
 // New builds a collector with the paper's 71.5 Tbps baseline.
 func New() *Collector {
@@ -114,8 +149,14 @@ func (c *Collector) Observe(dg *packet.Datagram, now time.Time) {
 	switch {
 	case dg.UDP.DstPort == ntp.Port || dg.UDP.SrcPort == ntp.Port:
 		c.ntpDailyBytes.Add(now, bytes)
+		if c.m != nil {
+			c.m.TapNTPBytes.Add(int64(bytes))
+		}
 	case dg.UDP.DstPort == dns.Port || dg.UDP.SrcPort == dns.Port:
 		c.dnsDailyBytes.Add(now, bytes)
+		if c.m != nil {
+			c.m.TapDNSBytes.Add(int64(bytes))
+		}
 	}
 }
 
@@ -126,15 +167,26 @@ func (c *Collector) AddAggregate(day time.Time, p Protocol, bytes float64) {
 	switch p {
 	case ProtoNTP:
 		c.ntpDailyBytes.Add(day, bytes)
+		if c.m != nil {
+			c.m.AggNTPBytes.Add(int64(bytes))
+		}
 	case ProtoDNS:
 		c.dnsDailyBytes.Add(day, bytes)
+		if c.m != nil {
+			c.m.AggDNSBytes.Add(int64(bytes))
+		}
 	}
 }
 
 // RecordAttack stores a labeled attack, subject to visibility (the caller
 // should pre-filter if modeling unobserved attacks; Arbor's labeling also
 // misses some, especially small ones).
-func (c *Collector) RecordAttack(a Attack) { c.attacks = append(c.attacks, a) }
+func (c *Collector) RecordAttack(a Attack) {
+	c.attacks = append(c.attacks, a)
+	if c.m != nil {
+		c.m.Attacks.Inc()
+	}
+}
 
 // FractionPoint is one day of Figure 1: the protocol's share of total
 // traffic (dimensionless, e.g. 0.01 = 1%).

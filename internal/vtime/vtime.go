@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"ntpddos/internal/metrics"
 )
 
 // Epoch is the instant at which a zero-value Clock starts: 2013-09-01 UTC.
@@ -89,6 +91,43 @@ type Scheduler struct {
 	clock *Clock
 	queue eventQueue
 	seq   uint64
+	m     *Metrics
+}
+
+// Metrics is the scheduler's optional live instrumentation: queue depth,
+// events fired and the virtual clock's position. All writes are atomic
+// stores from the simulation thread; attaching metrics never changes event
+// order, timing or randomness.
+type Metrics struct {
+	EventsScheduled *metrics.Counter
+	EventsFired     *metrics.Counter
+	QueueDepth      *metrics.Gauge
+	// ClockSeconds is the virtual clock position as seconds since Epoch —
+	// the scrape-side progress bar for a running scenario.
+	ClockSeconds *metrics.Gauge
+}
+
+// NewMetrics registers the scheduler family on r (nil r yields no-ops).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		EventsScheduled: r.NewCounter("ntpsim_sched_events_scheduled_total",
+			"Events pushed onto the virtual-time queue."),
+		EventsFired: r.NewCounter("ntpsim_sched_events_fired_total",
+			"Events executed by RunUntil/Drain."),
+		QueueDepth: r.NewGauge("ntpsim_sched_queue_depth",
+			"Events currently pending in the virtual-time queue."),
+		ClockSeconds: r.NewGauge("ntpsim_sched_virtual_clock_seconds",
+			"Virtual clock position, seconds since the 2013-09-01 Epoch."),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) live instrumentation.
+func (s *Scheduler) SetMetrics(m *Metrics) {
+	s.m = m
+	if m != nil {
+		m.QueueDepth.SetInt(int64(len(s.queue)))
+		m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
+	}
 }
 
 // NewScheduler returns a Scheduler driving the given clock.
@@ -107,6 +146,10 @@ func (s *Scheduler) At(t time.Time, fn func(now time.Time)) {
 	}
 	s.seq++
 	heap.Push(&s.queue, &event{at: t, atNs: int64(t.Sub(Epoch)), seq: s.seq, fn: fn})
+	if s.m != nil {
+		s.m.EventsScheduled.Inc()
+		s.m.QueueDepth.SetInt(int64(len(s.queue)))
+	}
 }
 
 // After schedules fn to run d after the current instant.
@@ -136,11 +179,19 @@ func (s *Scheduler) RunUntil(end time.Time) int {
 	for len(s.queue) > 0 && s.queue[0].at.Before(end) {
 		e := heap.Pop(&s.queue).(*event)
 		s.clock.AdvanceTo(e.at)
+		if s.m != nil {
+			s.m.EventsFired.Inc()
+			s.m.QueueDepth.SetInt(int64(len(s.queue)))
+			s.m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
+		}
 		e.fn(e.at)
 		ran++
 	}
 	if end.After(s.clock.Now()) {
 		s.clock.AdvanceTo(end)
+	}
+	if s.m != nil {
+		s.m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
 	}
 	return ran
 }
@@ -152,6 +203,11 @@ func (s *Scheduler) Drain() int {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*event)
 		s.clock.AdvanceTo(e.at)
+		if s.m != nil {
+			s.m.EventsFired.Inc()
+			s.m.QueueDepth.SetInt(int64(len(s.queue)))
+			s.m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
+		}
 		e.fn(e.at)
 		ran++
 	}
