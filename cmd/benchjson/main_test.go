@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: ntpddos/internal/sketch
+cpu: AMD EPYC 7B13
+BenchmarkCMSAdd-8          	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHLLAdd-8          	50000000	        21.5 ns/op
+BenchmarkSpaceSavingAdd-8  	 9000000	       131 ns/op	      48 B/op	       1 allocs/op
+PASS
+ok  	ntpddos/internal/sketch	12.3s
+pkg: ntpddos/internal/metrics
+BenchmarkCounterInc-8      	300000000	         3.9 ns/op	     256 MB/s	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleLog), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	cms := results[0]
+	if cms.Name != "BenchmarkCMSAdd" || cms.Procs != 8 || cms.Package != "ntpddos/internal/sketch" {
+		t.Fatalf("bad identity: %+v", cms)
+	}
+	if cms.Iterations != 12345678 || cms.NsPerOp != 95.2 || cms.BytesPerOp != 0 || cms.AllocsPerOp != 0 {
+		t.Fatalf("bad measurements: %+v", cms)
+	}
+	hll := results[1]
+	if hll.NsPerOp != 21.5 || hll.BytesPerOp != 0 {
+		t.Fatalf("ns-only line misparsed: %+v", hll)
+	}
+	ss := results[2]
+	if ss.BytesPerOp != 48 || ss.AllocsPerOp != 1 {
+		t.Fatalf("benchmem fields misparsed: %+v", ss)
+	}
+	ctr := results[3]
+	if ctr.Package != "ntpddos/internal/metrics" || ctr.MBPerSec != 256 || ctr.NsPerOp != 3.9 {
+		t.Fatalf("package context or MB/s misparsed: %+v", ctr)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := `Benchmark
+BenchmarkBroken-8 notanumber 5 ns/op
+BenchmarkNoUnit-8 100 5
+--- BENCH: BenchmarkFoo-8
+`
+	results, err := Parse(strings.NewReader(noise), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise produced results: %+v", results)
+	}
+}
+
+func TestParseLineSubBenchmarks(t *testing.T) {
+	res, ok := parseLine("BenchmarkDecay/halflife=1h-16  1000  1050 ns/op")
+	if !ok || res.Name != "BenchmarkDecay/halflife=1h" || res.Procs != 16 {
+		t.Fatalf("sub-benchmark misparsed: %+v ok=%v", res, ok)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ntpddos"
+	"ntpddos/internal/detect"
 	"ntpddos/internal/metrics"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		quick       = flag.Bool("quick", false, "use the quick test-scale configuration")
 		pcapDir     = flag.String("pcap", "", "directory to persist weekly monlist samples as .pcap files")
+		detector    = flag.Bool("detect", false, "attach the streaming detection plane and print its report after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the run progresses (e.g. :9091)")
 	)
 	flag.Parse()
@@ -42,6 +44,10 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.PCAPDir = *pcapDir
+	if *detector {
+		dcfg := detect.DefaultConfig()
+		cfg.Detector = &dcfg
+	}
 
 	if *metricsAddr != "" {
 		reg := metrics.NewRegistry()
@@ -69,6 +75,7 @@ func main() {
 			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 			"fig15", "fig16", "table5", "table6", "churn", "volume",
 			"remediation", "dnsoverlap", "ttl", "mega", "honeypot", "hpconv",
+			"detect", // outside All(); needs -detect to carry data
 		} {
 			fmt.Println(id)
 		}
@@ -89,6 +96,11 @@ func main() {
 	}
 	if *experiment != "" {
 		t := sim.ByID(*experiment)
+		if t == nil && *experiment == "detect" {
+			// The detect report lives outside All() (it depends on
+			// Config.Detector, which All() tables must not).
+			t = sim.DetectReport()
+		}
 		if t == nil {
 			fmt.Fprintf(os.Stderr, "ntpsim: unknown experiment %q (try -list)\n", *experiment)
 			os.Exit(1)
@@ -98,5 +110,8 @@ func main() {
 	}
 	for _, t := range sim.All() {
 		render(t)
+	}
+	if *detector {
+		render(sim.DetectReport())
 	}
 }

@@ -1,0 +1,82 @@
+package ntpddos
+
+import (
+	"ntpddos/internal/detect"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/report"
+)
+
+// Detection exposes the streaming plane's scenario-end summary (nil when
+// Config.Detector is unset).
+func (s *Simulation) Detection() *detect.Summary { return s.res.Detection }
+
+// LaunchedVictimSet returns the distinct victims of every campaign the
+// attack engine actually launched — the ground truth both the honeypot and
+// streaming-detector vantages are scored against.
+func (s *Simulation) LaunchedVictimSet() netaddr.Set {
+	truth := netaddr.NewSet(0)
+	for _, c := range s.res.World.Launched {
+		truth.Add(c.Victim)
+	}
+	return truth
+}
+
+// offlineVictimSet is the union of victims across the weekly offline
+// monlist-sample analyses — the paper's §4 vantage.
+func (s *Simulation) offlineVictimSet() netaddr.Set {
+	off := netaddr.NewSet(0)
+	for _, a := range s.res.MonlistAnalyses {
+		for _, v := range a.Victims {
+			off.Add(v.Victim)
+		}
+	}
+	return off
+}
+
+// DetectReport scores the streaming detection plane against the
+// launched-campaign ground truth and against the offline weekly-sample
+// pipeline (§4) working from the same world.
+//
+// This table is deliberately NOT part of All(): the determinism suite
+// asserts that the All() digest is byte-identical with the detector on or
+// off, which requires every All() table to be independent of Config.Detector.
+func (s *Simulation) DetectReport() *Table {
+	t := &Table{ID: "detect", Title: "Streaming detection: victims vs ground truth and offline pipeline",
+		Headers: []string{"vantage", "victims", "true_pos", "precision", "recall"}}
+	sum := s.res.Detection
+	if sum == nil {
+		t.AddNote("streaming detector disabled (Config.Detector = nil)")
+		return t
+	}
+	truth := s.LaunchedVictimSet()
+	stream := sum.VictimSet()
+	offline := s.offlineVictimSet()
+
+	se := detect.Evaluate(stream, truth)
+	oe := detect.Evaluate(offline, truth)
+	t.AddRowf("streaming (tap)", se.Detected, se.TruePositives, se.Precision, se.Recall)
+	t.AddRowf("offline (weekly samples)", oe.Detected, oe.TruePositives, oe.Precision, oe.Recall)
+	t.AddRowf("ground truth (campaigns)", se.Truth, se.Truth, 1.0, 1.0)
+
+	onsets, offsets := 0, 0
+	for _, a := range sum.Alarms {
+		if a.Onset {
+			onsets++
+		} else {
+			offsets++
+		}
+	}
+	t.AddNote("%d onset / %d offset alarms; %s reflected bytes across %s response packets",
+		onsets, offsets, report.SI(float64(sum.ReflectedBytes)),
+		report.SI(float64(sum.Responses)))
+	t.AddNote("streaming ∩ offline victim overlap: %d addresses",
+		stream.IntersectCount(offline))
+	t.AddNote("scanner suppression: %d sources marked (HLL estimate %.0f), %s backscatter packets dropped",
+		sum.ScannersMarked, sum.ScannerEstimate, report.SI(float64(sum.Suppressed)))
+	if len(sum.TopVictims) > 0 {
+		hh := sum.TopVictims[0]
+		t.AddNote("top victim by reflected bytes: %s (%s ± %s)",
+			hh.Addr, report.SI(float64(hh.Bytes)), report.SI(float64(hh.Err)))
+	}
+	return t
+}

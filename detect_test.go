@@ -1,0 +1,105 @@
+package ntpddos
+
+import (
+	"strings"
+	"testing"
+
+	"ntpddos/internal/detect"
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/report"
+)
+
+// TestDetectorDoesNotPerturbSimulation is the streaming plane's digest
+// contract: attaching the detector tap must leave every All() table
+// byte-identical, because the detector only observes datagrams (never
+// mutates them), consumes no world randomness (its hash key is forked on a
+// private stream), and schedules no events. Two detector-on runs must also
+// agree with each other — the sketch/alarm pipeline itself is deterministic.
+func TestDetectorDoesNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+
+	off := report.Digest(Run(cfg).All())
+
+	dcfg := detect.DefaultConfig()
+	cfg.Detector = &dcfg
+	s1 := Run(cfg)
+	on1 := report.Digest(s1.All())
+	on2 := report.Digest(Run(cfg).All())
+
+	if off != on1 {
+		t.Fatalf("detector tap changed the simulation:\n  off: %s\n  on:  %s", off, on1)
+	}
+	if on1 != on2 {
+		t.Fatalf("two detector-on runs diverged:\n  %s\n  %s", on1, on2)
+	}
+
+	sum := s1.Detection()
+	if sum == nil {
+		t.Fatal("detector enabled but no summary recorded")
+	}
+	if len(sum.Alarms) == 0 || len(sum.Victims) == 0 {
+		t.Fatal("detector-on run raised no alarms; digest identity is vacuous")
+	}
+
+	// Online quality at default calibration: the streaming victim set must
+	// match the launched-campaign ground truth at >= 0.9 precision/recall.
+	truth := s1.LaunchedVictimSet()
+	if truth.Len() == 0 {
+		t.Fatal("no campaigns launched; nothing to score against")
+	}
+	e := detect.Evaluate(sum.VictimSet(), truth)
+	if e.Precision < 0.9 || e.Recall < 0.9 {
+		t.Fatalf("streaming victims: precision %.3f recall %.3f (TP %d / det %d / truth %d), want >= 0.9 both",
+			e.Precision, e.Recall, e.TruePositives, e.Detected, e.Truth)
+	}
+
+	// The report renders and stays out of All() (the identity above depends
+	// on that).
+	tab := s1.DetectReport()
+	if tab.ID != "detect" || len(tab.Rows) == 0 {
+		t.Fatalf("detect report empty: %+v", tab)
+	}
+	if s1.ByID("detect") != nil {
+		t.Fatal("detect report leaked into All(); the on/off digest identity would break")
+	}
+	if !strings.Contains(tab.Render(), "streaming") {
+		t.Fatalf("unexpected render:\n%s", tab.Render())
+	}
+}
+
+// TestDetectorMetrics checks the detector's instrumentation family is
+// exposed when both Metrics and Detector are configured.
+func TestDetectorMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+	dcfg := detect.DefaultConfig()
+	cfg.Detector = &dcfg
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+
+	s := Run(cfg)
+	if s.Detection() == nil {
+		t.Fatal("no detection summary")
+	}
+	text := reg.RenderText()
+	for _, family := range []string{
+		"ntpsim_detect_packets_total",
+		"ntpsim_detect_onset_alarms_total",
+		"ntpsim_detect_scanner_cardinality_estimate",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("instrumented detector exposed no %s", family)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package detect is the streaming detection plane: the online counterpart of
+// internal/core's post-hoc victim classifier. It consumes the same event
+// streams the offline pipeline uses — fabric tap datagrams, NetFlow v5
+// collector records, and honeypot/darknet sensor sightings — and maintains,
+// in bounded memory over internal/sketch structures:
+//
+//   - per-window heavy-hitter victims by reflected on-wire bytes
+//     (exponential-decay Count-Min + SpaceSaving top-k),
+//   - an amplifier top-k by emitted bytes (SpaceSaving),
+//   - the unique-scanner cardinality (HyperLogLog — §5's darknet count,
+//     computed from the attack-facing vantage instead),
+//   - EWMA-based onset/offset alarms reproducing the paper's §4.2 victim
+//     thresholds (mode ≥ 6, count ≥ 3, average inter-arrival ≤ 3600 s)
+//     online, per victim, as traffic arrives.
+//
+// Scanners are disambiguated from victims the way §7.2 does: a mode 6/7
+// *request* arriving in the Linux TTL band (initial TTL 64 minus a plausible
+// path) reveals a real prober at its true address, while spoofed attack
+// triggers launch from Windows-band bots (TTL 128). Any address observed
+// probing is suppressed from victim alarms — this is what keeps the ONP
+// scanner, which receives millions of mode 7 response packets, out of the
+// victim set.
+//
+// The detector is a passive tap: it never sends, never touches the
+// simulation RNG or scheduler, and is seeded independently, so enabling it
+// cannot perturb a run (the root-package digest test pins this).
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/ntp"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/sketch"
+)
+
+// linuxTTLBand is the largest arrived TTL consistent with a Linux initial
+// TTL of 64 — the §7.2 scanner fingerprint (netsim.TTLLinux minus at least
+// one hop).
+const linuxTTLBand = 64
+
+// Config parameterizes the detector. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives the sketch hash functions. The scenario forks it from the
+	// world seed on an isolated stream.
+	Seed uint64
+
+	// TopK sizes the victim and amplifier SpaceSaving summaries.
+	TopK int
+	// CMSEpsilon/CMSDelta dimension the victim-bytes Count-Min sketch.
+	CMSEpsilon float64
+	CMSDelta   float64
+	// HLLPrecision sizes the scanner-cardinality HyperLogLog.
+	HLLPrecision uint8
+	// WindowHalfLife is the sliding-window decay for the heavy-hitter view.
+	WindowHalfLife time.Duration
+
+	// The paper's §4.2 victim thresholds, applied online.
+	MinCount           int64
+	MaxAvgInterarrival time.Duration
+	// RateHalfLife is the EWMA half-life of the per-victim packet-rate
+	// estimate backing the onset/offset alarms.
+	RateHalfLife time.Duration
+	// OffsetGap is the silence after which an active victim gets an offset
+	// alarm.
+	OffsetGap time.Duration
+}
+
+// DefaultConfig returns the paper-threshold calibration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		TopK:               64,
+		CMSEpsilon:         0.001,
+		CMSDelta:           0.01,
+		HLLPrecision:       12,
+		WindowHalfLife:     time.Hour,
+		MinCount:           3,                  // §4.2: at least 3 packets
+		MaxAvgInterarrival: 3600 * time.Second, // §4.2: more than one packet/hour
+		RateHalfLife:       10 * time.Minute,
+		OffsetGap:          2 * time.Hour,
+	}
+}
+
+// Alarm is one onset or offset detection.
+type Alarm struct {
+	// Onset is true for attack-start alarms, false for attack-end.
+	Onset  bool
+	Victim netaddr.Addr
+	// Port is the victim-side destination port most recently reflected at.
+	Port uint16
+	// At is the alarm time: the triggering packet's arrival for onsets, the
+	// last packet plus OffsetGap for offsets.
+	At time.Time
+	// Count is the Rep-weighted reflected packet count so far.
+	Count int64
+	// Rate is the EWMA packet-rate estimate (packets/second) at the alarm.
+	Rate float64
+}
+
+// HeavyHitter is one top-k row.
+type HeavyHitter struct {
+	Addr netaddr.Addr
+	// Bytes is the (possibly over-) estimated on-wire byte total.
+	Bytes int64
+	// Err is the SpaceSaving inherited error: Bytes−Err is guaranteed.
+	Err int64
+}
+
+// victimState is the per-victim online classifier state.
+type victimState struct {
+	first   time.Time
+	last    time.Time
+	count   int64 // Rep-weighted reflected packets
+	bytes   int64
+	port    uint16
+	rate    float64 // EWMA packets/second, decayed to last
+	active  bool    // between onset and offset
+	alarmed bool    // ever had an onset
+}
+
+// Detector is the streaming detection plane. It implements netsim.Tap; the
+// NetFlow and sensor-event paths feed the same state.
+type Detector struct {
+	cfg Config
+
+	victimBytes *sketch.DecayCMS
+	victimTop   *sketch.SpaceSaving
+	ampTop      *sketch.SpaceSaving
+	scannerHLL  *sketch.HLL
+
+	victims  map[netaddr.Addr]*victimState
+	scanners netaddr.Set
+	alarms   []Alarm
+
+	packets    int64 // Rep-weighted NTP packets seen
+	responses  int64 // Rep-weighted mode 6/7 responses
+	requests   int64 // Rep-weighted mode 6/7 requests
+	reflected  int64 // on-wire bytes of responses
+	suppressed int64 // response packets discarded as scanner backscatter
+	ingests    int64 // raw ingest operations, drives the prune cadence
+
+	m *Metrics
+}
+
+// pruneEvery is the ingest cadence of the bounded-memory sweep. Driven by
+// the deterministic ingest count, never by time-of-day or map size, so two
+// identical streams prune identically.
+const pruneEvery = 8192
+
+// New builds a detector.
+func New(cfg Config) *Detector {
+	if cfg.TopK < 1 {
+		panic(fmt.Sprintf("detect: TopK %d < 1", cfg.TopK))
+	}
+	return &Detector{
+		cfg:         cfg,
+		victimBytes: sketch.NewDecayCMS(cfg.CMSEpsilon, cfg.CMSDelta, cfg.WindowHalfLife, cfg.Seed),
+		victimTop:   sketch.NewSpaceSaving(cfg.TopK),
+		ampTop:      sketch.NewSpaceSaving(cfg.TopK),
+		scannerHLL:  sketch.NewHLL(cfg.HLLPrecision, cfg.Seed),
+		victims:     make(map[netaddr.Addr]*victimState),
+		scanners:    netaddr.NewSet(0),
+	}
+}
+
+// Config returns the detector's calibration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// SetMetrics attaches (or, with nil, detaches) live instrumentation.
+func (d *Detector) SetMetrics(m *Metrics) { d.m = m }
+
+// Observe implements netsim.Tap: classify one fabric datagram. Only NTP
+// traffic (port 123 on either side) is parsed; everything else is dropped
+// after a port compare, keeping the hot path cheap on non-NTP streams.
+func (d *Detector) Observe(dg *packet.Datagram, now time.Time) {
+	if dg.UDP.SrcPort != ntp.Port && dg.UDP.DstPort != ntp.Port {
+		return
+	}
+	mode, ok := ntp.Mode(dg.Payload)
+	if !ok || (mode != ntp.ModeControl && mode != ntp.ModePrivate) {
+		return
+	}
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	d.packets += rep
+	if d.m != nil {
+		d.m.Packets.Add(rep)
+	}
+	response := dg.Payload[0]&0x80 != 0 // mode 7 R bit
+	if mode == ntp.ModeControl {
+		response = len(dg.Payload) > 1 && dg.Payload[1]&0x80 != 0
+	}
+	switch {
+	case response && dg.UDP.SrcPort == ntp.Port:
+		d.ingestResponse(dg.IP.Src, dg.IP.Dst, dg.UDP.DstPort,
+			int64(dg.OnWire())*rep, rep, now)
+	case !response && dg.UDP.DstPort == ntp.Port:
+		d.ingestRequest(dg.IP.Src, dg.IP.TTL, rep)
+	}
+	d.maybePrune(now)
+}
+
+// ingestRequest handles a mode 6/7 query. A Linux-band TTL exposes a real
+// prober (§7.2): record it as a scanner and suppress it from victim alarms.
+// Windows-band arrivals are the spoofed attack triggers; the claimed source
+// is the victim, which the response stream will confirm.
+func (d *Detector) ingestRequest(src netaddr.Addr, ttl uint8, rep int64) {
+	d.requests += rep
+	if d.m != nil {
+		d.m.Requests.Add(rep)
+	}
+	if ttl > linuxTTLBand {
+		return
+	}
+	d.scannerHLL.Add(uint64(src))
+	if !d.scanners.Has(src) {
+		d.scanners.Add(src)
+		if d.m != nil {
+			d.m.ScannersMarked.Inc()
+		}
+	}
+}
+
+// ingestResponse handles a mode 6/7 response: amplifier → victim reflected
+// traffic, the substance of every alarm and heavy-hitter ranking.
+func (d *Detector) ingestResponse(amp, victim netaddr.Addr, victimPort uint16, bytes, rep int64, now time.Time) {
+	d.responses += rep
+	if d.m != nil {
+		d.m.Responses.Add(rep)
+		d.m.ReflectedBytes.Add(bytes)
+	}
+	if d.scanners.Has(victim) {
+		// Backscatter to a known prober (the ONP scanner harvesting tables);
+		// counting it would make our own measurement the top "victim".
+		d.suppressed += rep
+		if d.m != nil {
+			d.m.Suppressed.Add(rep)
+		}
+		return
+	}
+	d.reflected += bytes
+	d.victimBytes.Add(uint64(victim), float64(bytes), now)
+	d.victimTop.Add(uint64(victim), bytes)
+	d.ampTop.Add(uint64(amp), bytes)
+
+	st, ok := d.victims[victim]
+	if !ok {
+		st = &victimState{first: now, last: now, port: victimPort}
+		d.victims[victim] = st
+		if d.m != nil {
+			d.m.Tracked.SetInt(int64(len(d.victims)))
+		}
+	}
+	// EWMA rate: decay to now, then add this batch's impulse. In steady
+	// state at r packets/second the estimate converges to r.
+	hl := d.cfg.RateHalfLife.Seconds()
+	if dt := now.Sub(st.last).Seconds(); dt > 0 {
+		st.rate *= math.Exp2(-dt / hl)
+	}
+	st.rate += float64(rep) * math.Ln2 / hl
+	st.count += rep
+	st.bytes += bytes
+	st.last = now
+	st.port = victimPort
+
+	if !st.active && d.qualifies(st, now) {
+		st.active = true
+		st.alarmed = true
+		d.alarms = append(d.alarms, Alarm{
+			Onset: true, Victim: victim, Port: st.port, At: now,
+			Count: st.count, Rate: st.rate,
+		})
+		if d.m != nil {
+			d.m.Onsets.Inc()
+			d.m.Active.Inc()
+		}
+	}
+}
+
+// qualifies applies the §4.2 victim thresholds online: enough packets, and
+// both the lifetime average inter-arrival and the instantaneous EWMA rate
+// above one packet per MaxAvgInterarrival.
+func (d *Detector) qualifies(st *victimState, now time.Time) bool {
+	if st.count < d.cfg.MinCount {
+		return false
+	}
+	maxGap := d.cfg.MaxAvgInterarrival.Seconds()
+	if avg := now.Sub(st.first).Seconds() / float64(st.count-1); avg > maxGap {
+		return false
+	}
+	return st.rate >= 1/maxGap
+}
+
+// maybePrune runs the bounded-memory sweep every pruneEvery ingests: active
+// victims silent past OffsetGap get their offset alarm; states idle past two
+// gaps are dropped entirely (alarmed addresses stay for the final report).
+func (d *Detector) maybePrune(now time.Time) {
+	d.ingests++
+	if d.ingests%pruneEvery != 0 {
+		return
+	}
+	d.sweep(now, false)
+}
+
+func (d *Detector) sweep(now time.Time, final bool) {
+	for addr, st := range d.victims {
+		idle := now.Sub(st.last)
+		if st.active && (idle >= d.cfg.OffsetGap || final) {
+			st.active = false
+			at := st.last.Add(d.cfg.OffsetGap)
+			if final && idle < d.cfg.OffsetGap {
+				at = now
+			}
+			d.alarms = append(d.alarms, Alarm{
+				Victim: addr, Port: st.port, At: at,
+				Count: st.count, Rate: st.rate,
+			})
+			if d.m != nil {
+				d.m.Offsets.Inc()
+				d.m.Active.Dec()
+			}
+		}
+		if !st.alarmed && idle >= 2*d.cfg.OffsetGap {
+			delete(d.victims, addr)
+		}
+	}
+	if d.m != nil {
+		d.m.Tracked.SetInt(int64(len(d.victims)))
+		d.m.ScannerEstimate.SetInt(int64(d.scannerHLL.Estimate()))
+	}
+}
+
+// Flush closes the stream at virtual time now: every still-active victim
+// receives its offset alarm. Call once, at end of capture.
+func (d *Detector) Flush(now time.Time) { d.sweep(now, true) }
+
+// Alarms returns every alarm so far, ordered by (time, victim, onset-first).
+// The order is deterministic even though offsets are discovered by map
+// sweeps: alarm timestamps are derived from per-victim state, and the sort
+// normalizes emission order.
+func (d *Detector) Alarms() []Alarm {
+	out := make([]Alarm, len(d.alarms))
+	copy(out, d.alarms)
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		if out[i].Victim != out[j].Victim {
+			return out[i].Victim < out[j].Victim
+		}
+		return out[i].Onset && !out[j].Onset
+	})
+	return out
+}
+
+// VictimSet returns every address that ever raised an onset alarm, minus any
+// later unmasked as a scanner.
+func (d *Detector) VictimSet() netaddr.Set {
+	s := netaddr.NewSet(0)
+	for addr, st := range d.victims {
+		if st.alarmed && !d.scanners.Has(addr) {
+			s.Add(addr)
+		}
+	}
+	return s
+}
+
+// topEntries converts a SpaceSaving summary to addressed rows.
+func topEntries(ss *sketch.SpaceSaving, n int) []HeavyHitter {
+	entries := ss.Top(n)
+	out := make([]HeavyHitter, len(entries))
+	for i, e := range entries {
+		out[i] = HeavyHitter{Addr: netaddr.Addr(e.Key), Bytes: e.Count, Err: e.Err}
+	}
+	return out
+}
+
+// TopVictims returns the n heaviest victims by reflected on-wire bytes.
+func (d *Detector) TopVictims(n int) []HeavyHitter { return topEntries(d.victimTop, n) }
+
+// TopAmplifiers returns the n heaviest amplifiers by emitted bytes.
+func (d *Detector) TopAmplifiers(n int) []HeavyHitter { return topEntries(d.ampTop, n) }
+
+// VictimWindowBytes returns the decayed (sliding-window) reflected-byte
+// estimate for one victim as of now.
+func (d *Detector) VictimWindowBytes(victim netaddr.Addr, now time.Time) float64 {
+	return d.victimBytes.Estimate(uint64(victim), now)
+}
+
+// ScannerCardinality returns the HLL estimate of distinct probing sources.
+func (d *Detector) ScannerCardinality() float64 { return d.scannerHLL.Estimate() }
+
+// ScannersMarked returns the exact count of suppressed prober addresses.
+func (d *Detector) ScannersMarked() int { return d.scanners.Len() }

@@ -1,0 +1,145 @@
+package detect
+
+import (
+	"time"
+
+	"ntpddos/internal/core"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/netflow"
+	"ntpddos/internal/ntp"
+)
+
+// The non-tap ingestion paths: a real deployment rarely sits on a full
+// packet tap. NetFlow exports, periodic monlist polls, and amppot/darknet
+// sensor feeds all fold into the same per-victim state the tap maintains,
+// so a collector can mix vantages freely.
+
+// minReflectedPacketSize is the flow-path stand-in for the mode check the
+// tap performs on payload bytes: NetFlow v5 carries no payload, so port-123
+// response flows are classified by average packet size. Monlist fragments
+// run ~500 bytes of UDP payload and readvar fragments similarly, while
+// honest mode 4 time responses are 48 bytes — a 200-byte threshold cleanly
+// separates amplification backscatter from time service.
+const minReflectedPacketSize = 200
+
+// IngestExport decodes one NetFlow v5 export datagram and folds every
+// record into the detector. Flow times are reconstructed from the export
+// header's wall clock and the records' sysUptime offsets, the standard
+// collector arithmetic.
+func (d *Detector) IngestExport(data []byte) error {
+	h, records, err := netflow.Decode(data)
+	if err != nil {
+		return err
+	}
+	exportTime := time.Unix(int64(h.UnixSecs), int64(h.UnixNsecs)).UTC()
+	for _, r := range records {
+		age := time.Duration(h.SysUptimeMs-r.Last) * time.Millisecond
+		d.IngestFlow(r, exportTime.Add(-age))
+	}
+	return nil
+}
+
+// IngestFlow folds one v5 flow record, whose last packet was seen at
+// flowEnd. Only the NTP response direction matters here: request flows
+// carry no TTL in v5, so scanner unmasking is left to the tap/pcap path.
+func (d *Detector) IngestFlow(r netflow.Record, flowEnd time.Time) {
+	if r.SrcPort != ntp.Port || r.Packets == 0 {
+		return
+	}
+	if r.Octets/r.Packets < minReflectedPacketSize {
+		return // time-service chatter, not amplification
+	}
+	d.packets += int64(r.Packets)
+	if d.m != nil {
+		d.m.Packets.Add(int64(r.Packets))
+	}
+	// Octets are IP-layer; OnWire accounting adds the Ethernet overhead the
+	// BAF denominators use (≈38 bytes per packet at these sizes).
+	bytes := int64(r.Octets) + 38*int64(r.Packets)
+	d.ingestResponse(r.SrcAddr, r.DstAddr, r.DstPort, bytes, int64(r.Packets), flowEnd)
+	d.maybePrune(flowEnd)
+}
+
+// IngestMonEntry folds one polled monitor-table entry (the cmd/ntpwatch
+// live mode: repeatedly monlist a daemon and classify what its table says).
+// The entry's own counters carry the §4.2 evidence, so the paper's offline
+// classifier applies directly; qualifying entries raise an onset alarm
+// backdated to the entry's last-seen time.
+func (d *Detector) IngestMonEntry(amp netaddr.Addr, e ntp.MonEntry, now time.Time) {
+	if core.ClassifyEntry(e, 0) != core.Victim || d.scanners.Has(e.Addr) {
+		return
+	}
+	st, ok := d.victims[e.Addr]
+	if !ok {
+		st = &victimState{
+			first: now.Add(-time.Duration(e.Count) * time.Duration(e.AvgInterval) * time.Second),
+			port:  e.Port,
+		}
+		d.victims[e.Addr] = st
+	}
+	last := now.Add(-time.Duration(e.LastSeen) * time.Second)
+	if last.After(st.last) {
+		st.last = last
+	}
+	if int64(e.Count) > st.count {
+		st.count = int64(e.Count)
+	}
+	st.port = e.Port
+	if !st.active {
+		st.active = true
+		st.alarmed = true
+		d.alarms = append(d.alarms, Alarm{
+			Onset: true, Victim: e.Addr, Port: e.Port, At: st.last, Count: st.count,
+		})
+		if d.m != nil {
+			d.m.Onsets.Inc()
+			d.m.Active.Inc()
+		}
+	}
+	_ = amp // reflected-byte attribution needs packet sizes the table lacks
+}
+
+// IngestSensorEvent folds one amppot-style attack event (victim, port,
+// observed extent, Rep-weighted trigger packets) from a honeypot fleet.
+// Sensor events are trigger-side evidence: they count toward the victim's
+// packet threshold but contribute no reflected bytes.
+func (d *Detector) IngestSensorEvent(victim netaddr.Addr, port uint16, first, last time.Time, packets int64) {
+	if d.scanners.Has(victim) || packets <= 0 {
+		return
+	}
+	st, ok := d.victims[victim]
+	if !ok {
+		st = &victimState{first: first, last: last, port: port}
+		d.victims[victim] = st
+	}
+	st.count += packets
+	if last.After(st.last) {
+		st.last = last
+	}
+	st.port = port
+	if !st.active && st.count >= d.cfg.MinCount {
+		st.active = true
+		st.alarmed = true
+		d.alarms = append(d.alarms, Alarm{
+			Onset: true, Victim: victim, Port: port, At: last, Count: st.count,
+		})
+		if d.m != nil {
+			d.m.Onsets.Inc()
+			d.m.Active.Inc()
+		}
+	}
+}
+
+// IngestScannerSighting folds one darknet-telescope sighting of a probing
+// source: dark-space probes unmask scanners with certainty (no legitimate
+// traffic enters a darknet), feeding the same suppression set and
+// cardinality estimate the tap path maintains.
+func (d *Detector) IngestScannerSighting(src netaddr.Addr) {
+	d.scannerHLL.Add(uint64(src))
+	if !d.scanners.Has(src) {
+		d.scanners.Add(src)
+		if d.m != nil {
+			d.m.ScannersMarked.Inc()
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package netflow
+
+import (
+	"testing"
+
+	"ntpddos/internal/netaddr"
+)
+
+// FuzzDecode drives the v5 export decoder: arbitrary datagrams must either
+// error or yield exactly the header-declared record count, and anything
+// that decodes must survive the collector without a panic.
+func FuzzDecode(f *testing.F) {
+	valid, err := Encode(Header{SysUptimeMs: 60000, UnixSecs: 1385856000, FlowSequence: 42}, []Record{
+		{SrcAddr: netaddr.MustParseAddr("192.0.2.1"), DstAddr: netaddr.MustParseAddr("198.51.100.2"),
+			SrcPort: 123, DstPort: 80, Packets: 500, Octets: 240000, First: 1000, Last: 59000},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	empty, err := Encode(Header{}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add(make([]byte, HeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, records, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if int(h.Count) != len(records) {
+			t.Fatalf("header claims %d records, decoder returned %d", h.Count, len(records))
+		}
+		c := NewCollector()
+		if err := c.Ingest(data); err != nil {
+			t.Fatalf("collector rejected what Decode accepted: %v", err)
+		}
+		if c.Flows != int64(len(records)) {
+			t.Fatalf("collector counted %d flows of %d records", c.Flows, len(records))
+		}
+	})
+}

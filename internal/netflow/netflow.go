@@ -287,12 +287,19 @@ func (e *Exporter) CacheLen() int { return len(e.cache) }
 // Collector tallies decoded exports back into per-port byte counts — the
 // consumer side an analytics vendor runs.
 type Collector struct {
-	Flows       int64
-	Packets     int64
-	Octets      int64
-	ByDstPort   map[uint16]int64
-	LastSeq     uint32
+	Flows     int64
+	Packets   int64
+	Octets    int64
+	ByDstPort map[uint16]int64
+	LastSeq   uint32
+	// SeqGaps counts exports that arrived with a sequence number ahead of
+	// the expected one (flows lost in transit); Reordered counts exports
+	// that arrived behind it (late, duplicated, or out-of-order datagrams —
+	// UDP transport makes all three routine). A reordered export still has
+	// its records accumulated; real collectors cannot tell a retransmit
+	// from a late first arrival without keeping a full sequence window.
 	SeqGaps     int64
+	Reordered   int64
 	seqExpected uint32
 	started     bool
 }
@@ -310,11 +317,21 @@ func (c *Collector) Ingest(datagram []byte) error {
 		return err
 	}
 	if c.started && h.FlowSequence != c.seqExpected {
-		c.SeqGaps++
+		// Signed distance classifies the miss: ahead means flows were lost
+		// upstream, behind means this export is late or duplicated.
+		if int32(h.FlowSequence-c.seqExpected) > 0 {
+			c.SeqGaps++
+		} else {
+			c.Reordered++
+		}
+	}
+	if !c.started || int32(h.FlowSequence-c.seqExpected) >= 0 {
+		// Late arrivals do not move the expectation: the next in-order
+		// export after a reordered one should not count as a second gap.
+		c.seqExpected = h.FlowSequence + uint32(len(records))
+		c.LastSeq = h.FlowSequence
 	}
 	c.started = true
-	c.seqExpected = h.FlowSequence + uint32(len(records))
-	c.LastSeq = h.FlowSequence
 	for _, r := range records {
 		c.Flows++
 		c.Packets += int64(r.Packets)

@@ -170,6 +170,87 @@ func TestCollectorSequenceGapDetection(t *testing.T) {
 	}
 }
 
+// makeExports produces a train of sequence-contiguous export datagrams.
+func makeExports(t *testing.T, n int) [][]byte {
+	t.Helper()
+	var exports [][]byte
+	e := NewExporter(vtime.Epoch, func(b []byte) { exports = append(exports, b) })
+	for i := 0; i < 40*n; i++ {
+		dg := packet.NewDatagram(netaddr.Addr(i), 123, netaddr.Addr(100000+i), 80, make([]byte, 100))
+		e.Observe(dg, vtime.Epoch.Add(time.Duration(i)*time.Millisecond))
+	}
+	e.Flush(vtime.Epoch.Add(time.Hour))
+	if len(exports) < n {
+		t.Fatalf("%d exports, want at least %d", len(exports), n)
+	}
+	return exports[:n]
+}
+
+// TestCollectorReordering delivers a late export between two in-order ones:
+// UDP reordering must be classified as Reordered, not as a loss, and must
+// not cascade into a spurious gap on the next in-order datagram.
+func TestCollectorReordering(t *testing.T) {
+	exports := makeExports(t, 4)
+	c := NewCollector()
+	for _, i := range []int{0, 2, 1, 3} { // export 1 arrives late
+		if err := c.Ingest(exports[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.SeqGaps != 1 {
+		t.Fatalf("SeqGaps = %d, want 1 (the hole while export 1 was in flight)", c.SeqGaps)
+	}
+	if c.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1 (the late arrival)", c.Reordered)
+	}
+	// All four exports' records were still accumulated.
+	var total int64
+	for _, ex := range exports {
+		_, recs, err := Decode(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(len(recs))
+	}
+	if c.Flows != total {
+		t.Fatalf("Flows = %d, want %d (reordered records must still count)", c.Flows, total)
+	}
+}
+
+// TestCollectorDuplication replays an export datagram (a retransmit or a
+// mirrored path): the duplicate counts as Reordered, never as a gap, and
+// subsequent in-order exports remain gap-free.
+func TestCollectorDuplication(t *testing.T) {
+	exports := makeExports(t, 3)
+	c := NewCollector()
+	for _, i := range []int{0, 1, 1, 2} { // export 1 delivered twice
+		if err := c.Ingest(exports[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.SeqGaps != 0 {
+		t.Fatalf("SeqGaps = %d, want 0 (a duplicate is not a loss)", c.SeqGaps)
+	}
+	if c.Reordered != 1 {
+		t.Fatalf("Reordered = %d, want 1 (the duplicate)", c.Reordered)
+	}
+}
+
+// TestCollectorInOrderClean is the control: a clean contiguous train
+// produces neither gaps nor reorders.
+func TestCollectorInOrderClean(t *testing.T) {
+	exports := makeExports(t, 5)
+	c := NewCollector()
+	for _, ex := range exports {
+		if err := c.Ingest(ex); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.SeqGaps != 0 || c.Reordered != 0 {
+		t.Fatalf("clean train: SeqGaps=%d Reordered=%d, want 0/0", c.SeqGaps, c.Reordered)
+	}
+}
+
 // TestFabricToCollector wires the exporter as a fabric tap: reflected
 // attack traffic must arrive at the collector with byte totals matching
 // the fabric's own accounting of IP bytes.

@@ -38,8 +38,14 @@ func TestHoneypotDisabledWhenZero(t *testing.T) {
 	if w.Honeypots != nil {
 		t.Fatal("HoneypotSensors=0 still deployed a fleet")
 	}
-	if w.Engine.OnLaunch != nil || w.Engine.Reflectors != nil {
+	if w.Engine.Reflectors != nil || w.Engine.ReflectorSrc != nil {
 		t.Fatal("disabled fleet still wired into the attack engine")
+	}
+	// The campaign ground-truth log is vantage-independent: it must be
+	// recorded even with every optional vantage disabled, so the streaming
+	// detector (and future vantages) can always be scored against it.
+	if w.Engine.OnLaunch == nil {
+		t.Fatal("ground-truth OnLaunch recording must not depend on the honeypot fleet")
 	}
 }
 

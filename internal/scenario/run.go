@@ -9,6 +9,7 @@ import (
 
 	"ntpddos/internal/attack"
 	"ntpddos/internal/core"
+	"ntpddos/internal/detect"
 	"ntpddos/internal/geo"
 	"ntpddos/internal/honeypot"
 	"ntpddos/internal/netaddr"
@@ -49,6 +50,10 @@ type Results struct {
 	// convergence curve, and the cross-vantage comparison (nil when the
 	// fleet is disabled).
 	Honeypot *honeypot.Summary
+	// Detection is the streaming plane's scenario-end snapshot: alarms,
+	// heavy-hitter rankings, and scanner-cardinality estimate (nil when
+	// Config.Detector is unset).
+	Detection *detect.Summary
 }
 
 // SiteCounts is one sample's local amplifier census.
@@ -192,6 +197,9 @@ func (w *World) Run() *Results {
 		}
 		res.Honeypot = honeypot.Summarize(w.Honeypots, w.Launched,
 			w.Collector.MonthlyVectorCounts("ntp"), siteVictims, w.Clock.Now())
+	}
+	if w.Detect != nil {
+		res.Detection = w.Detect.Summarize(w.Clock.Now())
 	}
 	return res
 }

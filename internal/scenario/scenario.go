@@ -22,6 +22,7 @@ import (
 	"ntpddos/internal/asdb"
 	"ntpddos/internal/attack"
 	"ntpddos/internal/darknet"
+	"ntpddos/internal/detect"
 	"ntpddos/internal/honeypot"
 	"ntpddos/internal/ispview"
 	"ntpddos/internal/metrics"
@@ -88,6 +89,13 @@ type Config struct {
 	// behavioural effect: metric writes never touch RNG or scheduler state,
 	// so report digests are identical with Metrics nil or set.
 	Metrics *metrics.Registry
+
+	// Detector, when non-nil, attaches the streaming heavy-hitter detection
+	// plane (internal/detect) to the fabric as a passive tap. Like Metrics,
+	// it is provably free of behavioural effect: the detector never mutates
+	// datagrams and hashes with a seed forked independently of the world
+	// stream, so report digests are identical with Detector nil or set.
+	Detector *detect.Config
 }
 
 // DefaultConfig is the benchmark configuration.
@@ -183,6 +191,9 @@ type World struct {
 	// the ground-truth campaign log its detections are validated against.
 	Honeypots *honeypot.Fleet
 	Launched  []attack.Campaign
+	// Detect is the streaming detection plane (nil when disabled), fed by a
+	// passive fabric tap alongside the telescope and ISP views.
+	Detect *detect.Detector
 	// hpSrc is the honeypot vantage's private RNG root, forked from the seed
 	// separately from Src so the fleet never perturbs world randomness.
 	hpSrc *rng.Source
@@ -316,16 +327,31 @@ func Build(cfg Config) *World {
 			w.Honeypots.SetMetrics(honeypot.NewMetrics(cfg.Metrics))
 		}
 	}
+	// OnLaunch records the campaign ground truth unconditionally: both the
+	// honeypot and streaming-detector vantages validate against it.
+	w.Engine.OnLaunch = func(c attack.Campaign) {
+		w.Launched = append(w.Launched, c)
+	}
 	if w.Honeypots != nil {
 		// Scanners harvest the always-responsive sensors into booter lists;
 		// from then on each campaign drags some of the fleet in. The draws
-		// come from the honeypot stream, and OnLaunch records the ground
-		// truth the detections are validated against.
+		// come from the honeypot stream.
 		w.Engine.Reflectors = w.Honeypots.Addrs()
 		w.Engine.ReflectorProb = honeypot.DefaultInclusionProb
 		w.Engine.ReflectorSrc = w.hpSrc.Fork("reflectors")
-		w.Engine.OnLaunch = func(c attack.Campaign) {
-			w.Launched = append(w.Launched, c)
+	}
+	if cfg.Detector != nil {
+		dcfg := *cfg.Detector
+		if dcfg.Seed == 0 {
+			// The detector draws no randomness, but its sketch hashing is
+			// keyed; fork the key from the seed on a private stream so the
+			// world draws are untouched.
+			dcfg.Seed = rng.New(cfg.Seed).Fork("detect").Uint64()
+		}
+		w.Detect = detect.New(dcfg)
+		nw.AddTap(w.Detect)
+		if cfg.Metrics != nil {
+			w.Detect.SetMetrics(detect.NewMetrics(cfg.Metrics))
 		}
 	}
 	w.asPoolFrozen = true

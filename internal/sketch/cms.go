@@ -1,0 +1,104 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// CMS is a Count-Min sketch with conservative update (Estan & Varghese's
+// refinement): point queries over-estimate by at most εN with probability at
+// least 1−δ, where N is the total count added. Conservative update only
+// raises the cells that must rise, so in practice the error sits far below
+// the bound — the property test measures both.
+type CMS struct {
+	rows, cols int
+	eps, delta float64
+	seed       uint64
+	total      int64
+	counts     []int64 // rows × cols, row-major
+}
+
+// NewCMS builds a sketch with width ⌈e/ε⌉ and depth ⌈ln(1/δ)⌉ — the standard
+// dimensioning for the (ε, δ) guarantee. Panics on out-of-range parameters:
+// a silently clamped sketch would advertise a bound it does not honour.
+func NewCMS(eps, delta float64, seed uint64) *CMS {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("sketch: CMS parameters out of range: eps=%v delta=%v", eps, delta))
+	}
+	cols := int(math.Ceil(math.E / eps))
+	rows := int(math.Ceil(math.Log(1 / delta)))
+	if rows < 1 {
+		rows = 1
+	}
+	return &CMS{
+		rows: rows, cols: cols, eps: eps, delta: delta, seed: seed,
+		counts: make([]int64, rows*cols),
+	}
+}
+
+// Epsilon returns the configured ε.
+func (c *CMS) Epsilon() float64 { return c.eps }
+
+// Delta returns the configured δ.
+func (c *CMS) Delta() float64 { return c.delta }
+
+// Dims returns the sketch dimensions (depth, width).
+func (c *CMS) Dims() (rows, cols int) { return c.rows, c.cols }
+
+// Bytes returns the memory footprint of the counter array.
+func (c *CMS) Bytes() int { return len(c.counts) * 8 }
+
+// positions derives the per-row cell indices via double hashing
+// (h1 + i·h2 mod cols), the Kirsch–Mitzenmacher construction.
+func (c *CMS) position(key uint64, row int) int {
+	h1 := mix64(key ^ c.seed)
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	return int((h1 + uint64(row)*h2) % uint64(c.cols))
+}
+
+// Add records n occurrences of key using conservative update: every row cell
+// is raised only as far as the new point estimate requires.
+func (c *CMS) Add(key uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.total += n
+	target := c.estimate(key) + n
+	for r := 0; r < c.rows; r++ {
+		cell := &c.counts[r*c.cols+c.position(key, r)]
+		if *cell < target {
+			*cell = target
+		}
+	}
+}
+
+func (c *CMS) estimate(key uint64) int64 {
+	est := int64(math.MaxInt64)
+	for r := 0; r < c.rows; r++ {
+		if v := c.counts[r*c.cols+c.position(key, r)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Estimate returns the point estimate for key: always ≥ the true count, and
+// ≤ true + εN with probability ≥ 1−δ.
+func (c *CMS) Estimate(key uint64) int64 {
+	if c.total == 0 {
+		return 0
+	}
+	return c.estimate(key)
+}
+
+// Total returns N, the sum of all added counts — the scale factor in the εN
+// error bound.
+func (c *CMS) Total() int64 { return c.total }
+
+// Reset clears the sketch in place, keeping its dimensioning and seed.
+func (c *CMS) Reset() {
+	c.total = 0
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+}

@@ -1,0 +1,104 @@
+package sketch
+
+import (
+	"testing"
+
+	"ntpddos/internal/rng"
+)
+
+// zipfStream feeds n draws from a Zipf-distributed key universe into both a
+// sketch and its exact twin — the shape real victim/amplifier streams have
+// (a few heavy hitters over a long tail).
+func zipfStream(src *rng.Source, universe uint64, n int, add func(key uint64, count int64)) {
+	z := src.Zipf(1.2, universe)
+	for i := 0; i < n; i++ {
+		add(z.Uint64(), 1+int64(src.IntN(20)))
+	}
+}
+
+// TestCMSOverestimateBound asserts the published guarantee against the exact
+// twin: every estimate is ≥ the true count, and the fraction of point
+// queries over-estimating by more than εN stays below δ across seeded
+// trials. Conservative update should leave the observed failure rate far
+// below δ; the test also records it for the log.
+func TestCMSOverestimateBound(t *testing.T) {
+	const (
+		eps    = 0.005
+		delta  = 0.02
+		trials = 20
+	)
+	queries, failures := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		src := rng.New(uint64(1000 + trial))
+		cms := NewCMS(eps, delta, src.Uint64())
+		exact := NewExactCount()
+		zipfStream(src, 50_000, 30_000, func(k uint64, c int64) {
+			cms.Add(k, c)
+			exact.Add(k, c)
+		})
+		if cms.Total() != exact.Total() {
+			t.Fatalf("trial %d: sketch total %d != exact total %d", trial, cms.Total(), exact.Total())
+		}
+		bound := int64(eps * float64(exact.Total()))
+		for _, k := range exact.Keys() {
+			truth := exact.Estimate(k)
+			est := cms.Estimate(k)
+			if est < truth {
+				t.Fatalf("trial %d: key %d under-estimated: %d < %d", trial, k, est, truth)
+			}
+			queries++
+			if est-truth > bound {
+				failures++
+			}
+		}
+		// A key never added must estimate within the same bound of zero.
+		if est := cms.Estimate(0xdeadbeefcafe); est > bound {
+			t.Fatalf("trial %d: absent key estimated at %d > εN=%d", trial, est, bound)
+		}
+	}
+	rate := float64(failures) / float64(queries)
+	if rate > delta {
+		t.Fatalf("overestimate bound failed: %d/%d queries (%.4f) exceeded εN, δ=%v",
+			failures, queries, rate, delta)
+	}
+	t.Logf("CMS: %d queries, %d over εN (rate %.5f, δ=%v)", queries, failures, rate, delta)
+}
+
+// TestCMSDeterminism pins that two sketches with the same seed and stream
+// agree exactly — the property the detector's digest tests inherit.
+func TestCMSDeterminism(t *testing.T) {
+	build := func() *CMS {
+		src := rng.New(7)
+		cms := NewCMS(0.01, 0.01, 42)
+		zipfStream(src, 10_000, 5_000, func(k uint64, c int64) { cms.Add(k, c) })
+		return cms
+	}
+	a, b := build(), build()
+	for k := uint64(0); k < 2000; k++ {
+		if a.Estimate(k) != b.Estimate(k) {
+			t.Fatalf("key %d: %d != %d", k, a.Estimate(k), b.Estimate(k))
+		}
+	}
+}
+
+func TestCMSParameterValidation(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.1}, {0.1, 0}, {1, 0.1}, {0.1, 1}, {-1, 0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCMS(%v, %v) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewCMS(bad[0], bad[1], 1)
+		}()
+	}
+}
+
+func TestCMSReset(t *testing.T) {
+	cms := NewCMS(0.01, 0.01, 1)
+	cms.Add(5, 100)
+	cms.Reset()
+	if cms.Total() != 0 || cms.Estimate(5) != 0 {
+		t.Fatalf("reset sketch still reports total=%d estimate=%d", cms.Total(), cms.Estimate(5))
+	}
+}

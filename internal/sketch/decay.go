@@ -1,0 +1,126 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// DecayCMS is the sliding-window view over a Count-Min sketch: counts decay
+// exponentially with the configured half-life, so an estimate at time t is
+// Σ n_i · 2^−(t−t_i)/halfLife — recent traffic dominates and a campaign that
+// ended two half-lives ago has faded to a quarter of its weight. This is the
+// standard exponential-histogram shortcut: instead of ageing every cell, new
+// arrivals are scaled *up* by 2^(now−anchor)/halfLife and queries scale the
+// raw estimate back down, which costs one exponential per operation and no
+// sweeps.
+//
+// Time is whatever clock the caller passes in — in the simulation that is
+// virtual time, never the wall clock, so decayed estimates are reproducible.
+type DecayCMS struct {
+	rows, cols int
+	eps, delta float64
+	seed       uint64
+	halfLife   time.Duration
+
+	anchor time.Time // weight epoch; zero until the first Add
+	total  float64   // decayed N at anchor weight 1
+	counts []float64
+}
+
+// maxWeight bounds the up-scaling factor before renormalization: well inside
+// float64 range so intermediate sums keep full precision.
+const maxWeight = 1e12
+
+// NewDecayCMS builds a decayed sketch with the same (ε, δ) dimensioning as
+// NewCMS and the given half-life.
+func NewDecayCMS(eps, delta float64, halfLife time.Duration, seed uint64) *DecayCMS {
+	if halfLife <= 0 {
+		panic(fmt.Sprintf("sketch: non-positive half-life %v", halfLife))
+	}
+	base := NewCMS(eps, delta, seed)
+	return &DecayCMS{
+		rows: base.rows, cols: base.cols, eps: eps, delta: delta, seed: seed,
+		halfLife: halfLife, counts: make([]float64, base.rows*base.cols),
+	}
+}
+
+// HalfLife returns the configured decay half-life.
+func (d *DecayCMS) HalfLife() time.Duration { return d.halfLife }
+
+func (d *DecayCMS) position(key uint64, row int) int {
+	h1 := mix64(key ^ d.seed)
+	h2 := mix64(h1 ^ 0x9e3779b97f4a7c15)
+	return int((h1 + uint64(row)*h2) % uint64(d.cols))
+}
+
+// weight returns 2^(now−anchor)/halfLife, renormalizing the cell array when
+// the factor would grow past maxWeight.
+func (d *DecayCMS) weight(now time.Time) float64 {
+	if d.anchor.IsZero() {
+		d.anchor = now
+		return 1
+	}
+	w := math.Exp2(float64(now.Sub(d.anchor)) / float64(d.halfLife))
+	if w >= maxWeight {
+		inv := 1 / w
+		for i := range d.counts {
+			d.counts[i] *= inv
+		}
+		d.total *= inv
+		d.anchor = now
+		return 1
+	}
+	if w < 1 {
+		// Time ran backwards relative to the anchor (taps deliver in virtual
+		// order, so this only happens on caller error); clamp rather than let
+		// a negative exponent inflate history.
+		return 1
+	}
+	return w
+}
+
+// Add records n occurrences of key at time now, conservative-update style.
+func (d *DecayCMS) Add(key uint64, n float64, now time.Time) {
+	if n <= 0 {
+		return
+	}
+	w := d.weight(now)
+	scaled := n * w
+	d.total += scaled
+	target := d.rawEstimate(key) + scaled
+	for r := 0; r < d.rows; r++ {
+		cell := &d.counts[r*d.cols+d.position(key, r)]
+		if *cell < target {
+			*cell = target
+		}
+	}
+}
+
+func (d *DecayCMS) rawEstimate(key uint64) float64 {
+	est := math.Inf(1)
+	for r := 0; r < d.rows; r++ {
+		if v := d.counts[r*d.cols+d.position(key, r)]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Estimate returns the decayed count of key as of now: an over-estimate by
+// at most ε·Total(now) with probability ≥ 1−δ, exactly the CMS bound with
+// decayed mass as N.
+func (d *DecayCMS) Estimate(key uint64, now time.Time) float64 {
+	if d.anchor.IsZero() {
+		return 0
+	}
+	return d.rawEstimate(key) / d.weight(now)
+}
+
+// Total returns the decayed total mass as of now — the N in the εN bound.
+func (d *DecayCMS) Total(now time.Time) float64 {
+	if d.anchor.IsZero() {
+		return 0
+	}
+	return d.total / d.weight(now)
+}

@@ -1,0 +1,110 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ntpddos/internal/rng"
+	"ntpddos/internal/vtime"
+)
+
+// TestDecayHalfLife checks the defining property: one half-life after an
+// isolated addition the estimate has halved (exactly, modulo float error —
+// a single key cannot collide with itself).
+func TestDecayHalfLife(t *testing.T) {
+	const hl = time.Hour
+	d := NewDecayCMS(0.01, 0.01, hl, 7)
+	t0 := vtime.Epoch
+	d.Add(42, 1000, t0)
+	for i, want := range []float64{1000, 500, 250, 125} {
+		now := t0.Add(time.Duration(i) * hl)
+		got := d.Estimate(42, now)
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("after %d half-lives: estimate %.6f, want %.6f", i, got, want)
+		}
+	}
+}
+
+// TestDecayMatchesExactTwin streams random keys at advancing virtual times
+// and asserts the CMS bound in decayed form against the exact twin: the
+// sketch never under-estimates (beyond float noise) and over-estimates by at
+// most ε·Total.
+func TestDecayMatchesExactTwin(t *testing.T) {
+	const (
+		eps = 0.005
+		hl  = 30 * time.Minute
+	)
+	src := rng.New(11)
+	d := NewDecayCMS(eps, 0.01, hl, src.Uint64())
+	exact := NewExactDecay(hl)
+	now := vtime.Epoch
+	keys := make([]uint64, 0, 4096)
+	for i := 0; i < 20_000; i++ {
+		now = now.Add(time.Duration(src.IntN(5000)) * time.Millisecond)
+		k := uint64(src.IntN(3000))
+		n := float64(1 + src.IntN(50))
+		d.Add(k, n, now)
+		exact.Add(k, n, now)
+		if i%5 == 0 {
+			keys = append(keys, k)
+		}
+	}
+	slack := 1e-6 * exact.Total(now)
+	bound := eps*d.Total(now) + slack
+	for _, k := range keys {
+		truth := exact.Estimate(k, now)
+		got := d.Estimate(k, now)
+		if got < truth-slack {
+			t.Fatalf("key %d under-estimated: %.4f < %.4f", k, got, truth)
+		}
+		if got-truth > bound {
+			t.Fatalf("key %d over-estimated: %.4f − %.4f > ε·N=%.4f", k, got, truth, bound)
+		}
+	}
+	if got, want := d.Total(now), exact.Total(now); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("decayed totals diverged: sketch %.4f, exact %.4f", got, want)
+	}
+}
+
+// TestDecayRenormalization forces the internal weight past its ceiling (a
+// long virtual-time jump against a short half-life) and checks estimates
+// survive the rescale.
+func TestDecayRenormalization(t *testing.T) {
+	const hl = time.Second
+	d := NewDecayCMS(0.01, 0.01, hl, 3)
+	t0 := vtime.Epoch
+	d.Add(1, 1<<20, t0)
+	// 2^50 ≫ maxWeight: the first Add after the jump renormalizes.
+	later := t0.Add(50 * time.Second)
+	d.Add(2, 1000, later)
+	if got := d.Estimate(2, later); math.Abs(got-1000) > 1e-6*1000 {
+		t.Fatalf("fresh key after renormalization: estimate %.6f, want 1000", got)
+	}
+	want := float64(int64(1)<<20) / math.Exp2(50)
+	if got := d.Estimate(1, later); math.Abs(got-want) > 1e-9+1e-6*want {
+		t.Fatalf("decayed key after renormalization: estimate %.12f, want %.12f", got, want)
+	}
+}
+
+// TestDecayClockClamp pins the backwards-time behaviour: an Add carrying a
+// timestamp before the anchor is treated as happening at the anchor instead
+// of inflating history.
+func TestDecayClockClamp(t *testing.T) {
+	d := NewDecayCMS(0.01, 0.01, time.Hour, 5)
+	t0 := vtime.Epoch
+	d.Add(1, 100, t0)
+	d.Add(1, 100, t0.Add(-time.Hour))
+	if got := d.Estimate(1, t0); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("backwards add: estimate %.6f, want 200", got)
+	}
+}
+
+func TestDecayHalfLifeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDecayCMS with zero half-life did not panic")
+		}
+	}()
+	NewDecayCMS(0.01, 0.01, 0, 1)
+}

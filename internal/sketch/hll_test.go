@@ -1,0 +1,100 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"ntpddos/internal/rng"
+)
+
+// TestHLLErrorBound asserts the 1.04/√m relative error against the exact
+// twin at several precisions and cardinalities: every seeded trial must land
+// within 3 standard errors (a ≈99.7% event per trial; a systematic bias
+// would blow through it immediately).
+func TestHLLErrorBound(t *testing.T) {
+	for _, p := range []uint8{10, 12, 14} {
+		for _, n := range []int{1_000, 20_000, 200_000} {
+			for trial := 0; trial < 5; trial++ {
+				src := rng.New(uint64(p)<<32 | uint64(n) ^ uint64(trial*2654435761))
+				h := NewHLL(p, src.Uint64())
+				exact := NewExactDistinct()
+				for i := 0; i < n; i++ {
+					k := src.Uint64()
+					h.Add(k)
+					exact.Add(k)
+					if i%3 == 0 {
+						h.Add(k) // duplicates must not move the estimate
+						exact.Add(k)
+					}
+				}
+				truth := float64(exact.Count())
+				relErr := math.Abs(h.Estimate()-truth) / truth
+				if limit := 3 * h.StdError(); relErr > limit {
+					t.Errorf("p=%d n=%d trial=%d: relative error %.4f > 3·(1.04/√m)=%.4f",
+						p, n, trial, relErr, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestHLLSmallRange checks the linear-counting regime: tiny cardinalities
+// must come out near-exact, not at the raw estimator's biased values.
+func TestHLLSmallRange(t *testing.T) {
+	src := rng.New(99)
+	h := NewHLL(12, src.Uint64())
+	for i := 0; i < 10; i++ {
+		h.Add(src.Uint64())
+	}
+	if est := h.Estimate(); math.Abs(est-10) > 2 {
+		t.Fatalf("cardinality 10 estimated as %.2f", est)
+	}
+}
+
+// TestHLLMerge verifies the union property: merging the sketches of two
+// disjoint halves must equal the sketch of the concatenated stream,
+// register for register (the estimates are then trivially identical).
+func TestHLLMerge(t *testing.T) {
+	const seed = 1234
+	a := NewHLL(12, seed)
+	b := NewHLL(12, seed)
+	full := NewHLL(12, seed)
+	src := rng.New(5)
+	for i := 0; i < 50_000; i++ {
+		k := src.Uint64()
+		full.Add(k)
+		if i%2 == 0 {
+			a.Add(k)
+		} else {
+			b.Add(k)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate() != full.Estimate() {
+		t.Fatalf("merged estimate %.2f != full-stream estimate %.2f", a.Estimate(), full.Estimate())
+	}
+}
+
+func TestHLLMergeIncompatible(t *testing.T) {
+	if err := NewHLL(12, 1).Merge(NewHLL(12, 2)); err == nil {
+		t.Fatal("merging different seeds succeeded")
+	}
+	if err := NewHLL(12, 1).Merge(NewHLL(10, 1)); err == nil {
+		t.Fatal("merging different precisions succeeded")
+	}
+}
+
+func TestHLLPrecisionValidation(t *testing.T) {
+	for _, p := range []uint8{0, 3, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHLL(%d) did not panic", p)
+				}
+			}()
+			NewHLL(p, 1)
+		}()
+	}
+}
