@@ -366,3 +366,34 @@ func BenchmarkAblationRemediation(b *testing.B) {
 	b.Logf("final monlist pool: %d with remediation vs %d without (first sample ~%d)",
 		withPool, withoutPool, 1405186/scenario.TestConfig().Scale)
 }
+
+// BenchmarkSweepReplicates measures the sweep engine fanning replicate
+// simulations across the worker pool — the PR's acceptance path: on a
+// 4-core runner the 4-worker pool is expected >= 3x faster than serial
+// (per-run digests byte-identical either way, pinned by
+// TestSweepWorkersByteIdentical). On a single core the two variants
+// converge, which is itself the honest number. Each replicate is the
+// truncated-window world from the golden corpus, so one iteration costs
+// seconds, not minutes.
+func BenchmarkSweepReplicates(b *testing.B) {
+	if testing.Short() {
+		b.Skip("sweep simulations skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.End = time.Date(2014, 1, 17, 0, 0, 0, 0, time.UTC)
+	jobs := SweepReplicates("bench", cfg, 1, 2, 3, 4)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := Sweep(jobs, SweepOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if failed := m.Failed(); len(failed) > 0 {
+					b.Fatalf("replicates failed: %+v", failed)
+				}
+			}
+		})
+	}
+}

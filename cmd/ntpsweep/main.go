@@ -1,0 +1,288 @@
+// Command ntpsweep runs parameter sweeps over the simulation: seed
+// replicates, Scale ladders, and grids over Config knobs (detector on/off,
+// BCP38 spoofer fraction, remediation hazard), fanned across a worker pool.
+// It prints the cross-run spread summary and a per-run digest manifest
+// whose canonical bytes are independent of -workers — the determinism
+// contract the test suite pins.
+//
+// Usage:
+//
+//	ntpsweep -seeds 1-16                        # 16 seed replicates
+//	ntpsweep -seeds 1-8 -workers 4              # same jobs, 4-way pool
+//	ntpsweep -seeds 1-4 -scales 2000,4000       # Scale ladder
+//	ntpsweep -seeds 1-4 -spoof 0.1,0.25,0.5     # BCP38 sensitivity grid
+//	ntpsweep -seeds 1-4 -detect both            # detector on/off ablation
+//	ntpsweep -seeds 1-4 -end 2014-02-01         # truncated window (fast)
+//	ntpsweep -seeds 1-4 -out manifest.json      # manifest to a file
+//	ntpsweep -seeds 1-4 -csv                    # per-job CSV on stdout
+//
+// The group-summary table and per-job timing go to stderr; the manifest
+// (canonical JSON, or CSV with -csv) goes to stdout or -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ntpddos"
+	"ntpddos/internal/detect"
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/scenario"
+	"ntpddos/internal/sweep"
+)
+
+func main() {
+	var (
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seedSpec    = flag.String("seeds", "1", "replicate seeds: comma list and/or ranges, e.g. 1-16 or 1,5,9-12")
+		scaleSpec   = flag.String("scales", "", "comma-separated Scale ladder (empty = -scale only)")
+		scale       = flag.Int("scale", 2000, "base population divisor")
+		name        = flag.String("name", "", "experiment-name prefix for manifest cells")
+		endSpec     = flag.String("end", "", "truncate the window at this date (YYYY-MM-DD; empty = full window)")
+		detectSpec  = flag.String("detect", "off", "streaming detector knob: off, on, or both")
+		noremSpec   = flag.String("noremediation", "off", "counterfactual no-remediation knob: off, on, or both")
+		spoofSpec   = flag.String("spoof", "", "comma-separated BCP38 spoofer fractions (e.g. 0.1,0.25,0.5)")
+		hazardSpec  = flag.String("hazard", "", "comma-separated remediation-hazard multipliers (e.g. 0.5,1,2)")
+		csv         = flag.Bool("csv", false, "emit the per-job table as CSV instead of the JSON manifest")
+		out         = flag.String("out", "-", "manifest destination (- = stdout)")
+		quiet       = flag.Bool("q", false, "suppress per-job progress lines")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address during the sweep (e.g. :9091)")
+	)
+	flag.Parse()
+
+	base := ntpddos.DefaultConfig()
+	base.Scale = *scale
+	if *endSpec != "" {
+		end, err := time.Parse("2006-01-02", *endSpec)
+		if err != nil {
+			fatalf("bad -end %q: %v", *endSpec, err)
+		}
+		base.End = end
+	}
+
+	grid, err := buildGrid(base, *name, *seedSpec, *scaleSpec, *detectSpec, *noremSpec, *spoofSpec, *hazardSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	jobs := grid.Jobs()
+
+	opt := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opt.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ntpsweep: "+format+"\n", args...)
+		}
+	}
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		metrics.RegisterGoRuntime(reg)
+		opt.Metrics = sweep.NewMetrics(reg)
+		exp, err := metrics.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatalf("metrics exporter: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "ntpsweep: serving metrics on http://%s/metrics\n", exp.Addr())
+		exp.SetReady(true)
+	}
+
+	fmt.Fprintf(os.Stderr, "ntpsweep: %d jobs (%s)\n", len(jobs), gridShape(grid))
+	start := time.Now()
+	manifest, err := ntpddos.Sweep(jobs, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ntpsweep: done in %v\n\n", time.Since(start).Round(time.Second))
+
+	fmt.Fprintln(os.Stderr, manifest.GroupTable().Render())
+	fmt.Fprintln(os.Stderr, manifest.TimingTable().Render())
+	fmt.Fprintf(os.Stderr, "ntpsweep: manifest digest %s\n", manifest.Digest())
+	if failed := manifest.Failed(); len(failed) > 0 {
+		for _, rec := range failed {
+			fmt.Fprintf(os.Stderr, "ntpsweep: FAILED %s: %s\n", rec.ID, rec.Err)
+		}
+	}
+
+	var payload []byte
+	if *csv {
+		payload = []byte(manifest.JobTable().CSV())
+	} else {
+		payload = manifest.CanonicalJSON()
+	}
+	if *out == "-" || *out == "" {
+		os.Stdout.Write(payload)
+	} else if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	if len(manifest.Failed()) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ntpsweep: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// buildGrid assembles the sweep grid from the flag specs.
+func buildGrid(base scenario.Config, name, seedSpec, scaleSpec, detectSpec, noremSpec, spoofSpec, hazardSpec string) (sweep.Grid, error) {
+	g := sweep.Grid{Base: base, Name: name}
+	var err error
+	if g.Seeds, err = parseSeeds(seedSpec); err != nil {
+		return g, err
+	}
+	if scaleSpec != "" {
+		scales, err := parseInts(scaleSpec)
+		if err != nil {
+			return g, fmt.Errorf("bad -scales: %w", err)
+		}
+		g.Scales = scales
+	}
+	addOnOff := func(spec, name string, set func(*scenario.Config)) error {
+		vals, err := onOffKnob(spec, set)
+		if err != nil {
+			return fmt.Errorf("bad -%s %q: %w", name, spec, err)
+		}
+		if vals != nil {
+			g.Knobs = append(g.Knobs, sweep.Knob{Name: name, Values: vals})
+		}
+		return nil
+	}
+	if err := addOnOff(detectSpec, "detect", func(c *scenario.Config) {
+		dcfg := detect.DefaultConfig()
+		c.Detector = &dcfg
+	}); err != nil {
+		return g, err
+	}
+	if err := addOnOff(noremSpec, "noremediation", func(c *scenario.Config) {
+		c.NoRemediation = true
+	}); err != nil {
+		return g, err
+	}
+	if spoofSpec != "" {
+		vals, err := floatKnob(spoofSpec, func(c *scenario.Config, v float64) {
+			if v == 0 {
+				v = -1 // Config uses 0 for "default"; 0 on the CLI means nobody spoofs
+			}
+			c.SpooferFraction = v
+		})
+		if err != nil {
+			return g, fmt.Errorf("bad -spoof: %w", err)
+		}
+		g.Knobs = append(g.Knobs, sweep.Knob{Name: "spoof", Values: vals})
+	}
+	if hazardSpec != "" {
+		vals, err := floatKnob(hazardSpec, func(c *scenario.Config, v float64) {
+			c.RemediationHazard = v
+		})
+		if err != nil {
+			return g, fmt.Errorf("bad -hazard: %w", err)
+		}
+		g.Knobs = append(g.Knobs, sweep.Knob{Name: "hazard", Values: vals})
+	}
+	return g, nil
+}
+
+func gridShape(g sweep.Grid) string {
+	parts := []string{fmt.Sprintf("%d seeds", len(g.Seeds))}
+	if len(g.Scales) > 1 {
+		parts = append(parts, fmt.Sprintf("%d scales", len(g.Scales)))
+	}
+	for _, k := range g.Knobs {
+		parts = append(parts, fmt.Sprintf("%s×%d", k.Name, len(k.Values)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// parseSeeds expands "1-16" / "1,5,9-12" into an ordered seed list.
+func parseSeeds(spec string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+			b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+			if err1 != nil || err2 != nil || b < a {
+				return nil, fmt.Errorf("bad seed range %q", part)
+			}
+			if b-a >= 10_000 {
+				return nil, fmt.Errorf("seed range %q too large", part)
+			}
+			for s := a; s <= b; s++ {
+				seeds = append(seeds, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", spec)
+	}
+	return seeds, nil
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", spec)
+	}
+	return out, nil
+}
+
+// onOffKnob maps off/on/both to knob values; "off" returns nil (no grid
+// dimension at all, keeping manifest cells clean).
+func onOffKnob(spec string, set func(*scenario.Config)) ([]sweep.KnobValue, error) {
+	off := sweep.KnobValue{Label: "off", Apply: func(*scenario.Config) {}}
+	on := sweep.KnobValue{Label: "on", Apply: set}
+	switch spec {
+	case "", "off":
+		return nil, nil
+	case "on":
+		return []sweep.KnobValue{on}, nil
+	case "both":
+		return []sweep.KnobValue{off, on}, nil
+	}
+	return nil, fmt.Errorf("want off, on, or both")
+}
+
+func floatKnob(spec string, set func(*scenario.Config, float64)) ([]sweep.KnobValue, error) {
+	var vals []sweep.KnobValue
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", part)
+		}
+		vals = append(vals, sweep.KnobValue{
+			Label: part,
+			Apply: func(c *scenario.Config) { set(c, v) },
+		})
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("empty list %q", spec)
+	}
+	return vals, nil
+}

@@ -1,0 +1,146 @@
+package ntpddos
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"ntpddos/internal/detect"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.json from the current code")
+
+const goldenPath = "testdata/golden_digests.json"
+
+// goldenJobs defines the pinned corpus: three small configurations chosen to
+// cover distinct code paths (baseline, resized honeypot fleet, and the
+// counterfactual knobs added for sweeps). Each runs a truncated window —
+// one monlist survey, a live honeypot event stream, and all 33 tables — in
+// a few seconds, so the corpus is cheap enough for every CI run.
+func goldenJobs() []SweepJob {
+	base := QuickConfig()
+	base.Scale = 4000
+	base.End = time.Date(2014, 1, 17, 0, 0, 0, 0, time.UTC)
+	base.Seed = 1
+
+	sensors := base
+	sensors.Seed = 7
+	sensors.HoneypotSensors = 24
+
+	knobs := base
+	knobs.Seed = 3
+	knobs.NoRemediation = true
+	knobs.SpooferFraction = 0.5
+	dcfg := detect.DefaultConfig()
+	knobs.Detector = &dcfg
+
+	return []SweepJob{
+		{ID: "base/seed=1", Experiment: "base", Cfg: base},
+		{ID: "sensors24/seed=7", Experiment: "sensors24", Cfg: sensors},
+		{ID: "knobs/seed=3", Experiment: "knobs", Cfg: knobs},
+	}
+}
+
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden corpus (run `go test -run TestGoldenDigests -update` to create it): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("corrupt %s: %v", goldenPath, err)
+	}
+	return want
+}
+
+// TestGoldenDigests replays the pinned corpus through the sweep engine at
+// full parallelism and compares every run's report digest against
+// testdata/golden_digests.json. A mismatch means some code change altered
+// simulation output — intended changes regenerate the corpus with -update;
+// unintended ones get a per-config diff naming exactly which worlds moved.
+func TestGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	m, err := Sweep(goldenJobs(), SweepOptions{Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, rec := range m.Jobs {
+		if rec.Err != "" {
+			t.Fatalf("golden job %s failed: %s", rec.ID, rec.Err)
+		}
+		got[rec.ID] = rec.Digest
+		if rec.Values["tables"] != 33 {
+			t.Errorf("golden job %s rendered %v tables, want 33", rec.ID, rec.Values["tables"])
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(got))
+		return
+	}
+
+	want := readGolden(t)
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, inWant := want[name]
+		g, inGot := got[name]
+		switch {
+		case !inWant:
+			t.Errorf("%s: new config not in golden corpus (run with -update)", name)
+		case !inGot:
+			t.Errorf("%s: pinned config no longer produced by goldenJobs (run with -update)", name)
+		case g != w:
+			t.Errorf("%s: digest drift\n  want %s\n  got  %s\n(simulation output changed; if intended, run `go test -run TestGoldenDigests -update`)",
+				name, w, g)
+		}
+	}
+}
+
+// TestGoldenDigestGOMAXPROCSInvariant pins that a single scenario run's
+// digest does not depend on GOMAXPROCS: the baseline corpus entry, executed
+// on one processor, must reproduce the digest committed by (parallel) corpus
+// runs. A world that raced on scheduler interleaving would diverge here.
+func TestGoldenDigestGOMAXPROCSInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	want := readGolden(t)
+	job := goldenJobs()[0]
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	res, err := SweepRunner(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want[job.ID] {
+		t.Fatalf("GOMAXPROCS=1 digest for %s\n  want %s\n  got  %s", job.ID, want[job.ID], res.Digest)
+	}
+}

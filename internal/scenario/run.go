@@ -307,6 +307,12 @@ func (w *World) applyWeeklyRemediation(weekIdx int) {
 		}
 	}
 	toPatch := global - target
+	if hazard := w.Cfg.RemediationHazard; hazard > 0 && hazard != 1 {
+		toPatch = int(float64(toPatch) * hazard)
+		if toPatch > global {
+			toPatch = global
+		}
+	}
 	if toPatch <= 0 {
 		return
 	}

@@ -77,6 +77,19 @@ type Config struct {
 	// ablation benchmarks compare against.
 	NoRemediation bool
 
+	// SpooferFraction is the fraction of ASes that never deployed BCP38 and
+	// therefore emit spoofed packets — the knob sensitivity sweeps move to
+	// ask how much source-address validation would have blunted the attack
+	// wave. 0 means the calibrated default (0.25); negative means no AS
+	// spoofs at all.
+	SpooferFraction float64
+
+	// RemediationHazard scales the weekly global patching pressure: each
+	// week's patch quota is multiplied by it. 0 (or 1) reproduces the
+	// paper's Table 1 decline; 0.5 halves the community response, 2 doubles
+	// it. Site schedules (§7) are explicit dates and are unaffected.
+	RemediationHazard float64
+
 	// PCAPDir, when set, persists every weekly monlist sample as a libpcap
 	// file (monlist-YYYY-MM-DD.pcap) in that directory — the dataset
 	// interchange format; cmd/onpdump re-analyses the files.
@@ -265,7 +278,13 @@ func Build(cfg Config) *World {
 	clock := &vtime.Clock{}
 	sched := vtime.NewScheduler(clock)
 
-	db := asdb.Build(src.Fork("asdb"), asdb.Config{NumASes: cfg.NumASes, SpooferFraction: 0.25})
+	spoof := cfg.SpooferFraction
+	if spoof == 0 {
+		spoof = 0.25
+	} else if spoof < 0 {
+		spoof = 0
+	}
+	db := asdb.Build(src.Fork("asdb"), asdb.Config{NumASes: cfg.NumASes, SpooferFraction: spoof})
 	pl := pbl.Derive(db, src.Fork("pbl"), pbl.DefaultConfig())
 
 	policy := func(origin, claimed netaddr.Addr) bool {

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"testing"
+
+	"ntpddos/internal/scenario"
+)
+
+func TestGridCrossProduct(t *testing.T) {
+	base := scenario.TestConfig()
+	g := Grid{
+		Base:   base,
+		Name:   "sens",
+		Seeds:  []uint64{1, 2, 3},
+		Scales: []int{2000, 4000},
+		Knobs: []Knob{{
+			Name: "detect",
+			Values: []KnobValue{
+				{Label: "off", Apply: func(*scenario.Config) {}},
+				{Label: "on", Apply: func(c *scenario.Config) { c.FabricAttackDivisor = 99 }},
+			},
+		}},
+	}
+	jobs := g.Jobs()
+	if len(jobs) != 2*2*3 {
+		t.Fatalf("expanded %d jobs, want 12", len(jobs))
+	}
+	ids := map[string]bool{}
+	for _, j := range jobs {
+		if ids[j.ID] {
+			t.Fatalf("duplicate job ID %q", j.ID)
+		}
+		ids[j.ID] = true
+	}
+	// Deterministic order: scale slowest, then knob, then seed.
+	first := jobs[0]
+	if first.ID != "sens/scale=2000/detect=off/seed=1" {
+		t.Fatalf("first job ID = %q", first.ID)
+	}
+	if first.Experiment != "sens/scale=2000/detect=off" {
+		t.Fatalf("first experiment = %q", first.Experiment)
+	}
+	if first.Params["scale"] != "2000" || first.Params["detect"] != "off" || first.Params["seed"] != "1" {
+		t.Fatalf("first params = %v", first.Params)
+	}
+	last := jobs[len(jobs)-1]
+	if last.ID != "sens/scale=4000/detect=on/seed=3" {
+		t.Fatalf("last job ID = %q", last.ID)
+	}
+	// The knob mutation lands only on its own cell's configs.
+	for _, j := range jobs {
+		want := base.FabricAttackDivisor
+		if j.Params["detect"] == "on" {
+			want = 99
+		}
+		if j.Cfg.FabricAttackDivisor != want {
+			t.Fatalf("job %s divisor %d, want %d", j.ID, j.Cfg.FabricAttackDivisor, want)
+		}
+		if j.Cfg.Seed == 0 || j.Cfg.Scale == 0 {
+			t.Fatalf("job %s missing seed/scale: %+v", j.ID, j.Cfg)
+		}
+	}
+	// Replicates of one cell share the Experiment key (3 seeds per cell).
+	cells := map[string]int{}
+	for _, j := range jobs {
+		cells[j.Experiment]++
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %v, want 4", cells)
+	}
+	for cell, n := range cells {
+		if n != 3 {
+			t.Fatalf("cell %s has %d replicates, want 3", cell, n)
+		}
+	}
+}
+
+func TestGridDefaults(t *testing.T) {
+	base := scenario.TestConfig()
+	base.Seed = 7
+	jobs := Grid{Base: base}.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("bare grid expanded %d jobs, want 1", len(jobs))
+	}
+	if jobs[0].Cfg.Seed != 7 || jobs[0].Cfg.Scale != base.Scale {
+		t.Fatalf("bare grid lost base config: %+v", jobs[0].Cfg)
+	}
+	if jobs[0].ID != "seed=7" {
+		t.Fatalf("bare grid job ID = %q", jobs[0].ID)
+	}
+}
+
+func TestReplicates(t *testing.T) {
+	base := scenario.TestConfig()
+	jobs := Replicates("rep", base, 5, 6, 7)
+	if len(jobs) != 3 {
+		t.Fatalf("replicates = %d, want 3", len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Cfg.Seed != uint64(5+i) {
+			t.Fatalf("replicate %d seed %d", i, j.Cfg.Seed)
+		}
+		if j.Experiment != "rep" {
+			t.Fatalf("replicate %d experiment %q", i, j.Experiment)
+		}
+	}
+}

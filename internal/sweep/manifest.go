@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ntpddos/internal/report"
+	"ntpddos/internal/stats"
+)
+
+// JobRecord is one job's deterministic outcome in the manifest.
+type JobRecord struct {
+	Index      int                `json:"index"`
+	ID         string             `json:"id"`
+	Experiment string             `json:"experiment,omitempty"`
+	Params     map[string]string  `json:"params,omitempty"`
+	Seed       uint64             `json:"seed"`
+	Scale      int                `json:"scale"`
+	Digest     string             `json:"digest,omitempty"`
+	Values     map[string]float64 `json:"values,omitempty"`
+	Err        string             `json:"error,omitempty"`
+}
+
+// GroupSummary is the cross-run spread of one metric within one experiment
+// cell: the five-number summary plus the mean, over every successful
+// replicate that reported the metric.
+type GroupSummary struct {
+	Experiment string  `json:"experiment"`
+	Metric     string  `json:"metric"`
+	N          int     `json:"n"`
+	Min        float64 `json:"min"`
+	Q1         float64 `json:"q1"`
+	Median     float64 `json:"median"`
+	Q3         float64 `json:"q3"`
+	Max        float64 `json:"max"`
+	Mean       float64 `json:"mean"`
+}
+
+// Manifest is a completed sweep: per-job records in job order plus
+// per-experiment summaries. Its canonical JSON excludes everything
+// execution-dependent (worker count, wall times), so two sweeps over the
+// same job set produce byte-identical canonical forms regardless of
+// parallelism — the property the determinism regression pins.
+type Manifest struct {
+	// Workers is the pool size that executed the sweep (not part of the
+	// canonical form).
+	Workers int            `json:"-"`
+	Jobs    []JobRecord    `json:"jobs"`
+	Groups  []GroupSummary `json:"groups,omitempty"`
+
+	// timings holds per-job wall time by ID — observability only, never
+	// serialized into the canonical form.
+	timings map[string]time.Duration
+}
+
+// summarize builds the per-experiment spread statistics from the job
+// records, iterating strictly in job order so float accumulation is
+// reproducible.
+func (m *Manifest) summarize() {
+	values := map[string]map[string][]float64{} // experiment -> metric -> values
+	for _, rec := range m.Jobs {
+		if rec.Err != "" {
+			continue
+		}
+		exp := rec.Experiment
+		if values[exp] == nil {
+			values[exp] = map[string][]float64{}
+		}
+		for k, v := range rec.Values {
+			values[exp][k] = append(values[exp][k], v)
+		}
+	}
+	m.Groups = m.Groups[:0]
+	for _, exp := range sortedKeys(values) {
+		for _, metric := range sortedKeys(values[exp]) {
+			box := stats.NewBoxPlot(values[exp][metric])
+			m.Groups = append(m.Groups, GroupSummary{
+				Experiment: exp, Metric: metric, N: box.N,
+				Min: box.Min, Q1: box.Q1, Median: box.Median,
+				Q3: box.Q3, Max: box.Max, Mean: box.Mean,
+			})
+		}
+	}
+}
+
+// CanonicalJSON renders the deterministic manifest form: job records in job
+// order, group summaries in (experiment, metric) order, map keys sorted by
+// the encoder. Two executions of the same job set yield identical bytes
+// whatever the worker count or completion interleaving.
+func (m *Manifest) CanonicalJSON() []byte {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		// All field types are JSON-encodable and non-finite floats are
+		// dropped at collection; an error here is a program bug.
+		panic(fmt.Sprintf("sweep: manifest encoding failed: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Digest returns the sha256 of the canonical JSON — one string to compare
+// across serial, parallel, and re-run executions.
+func (m *Manifest) Digest() string {
+	sum := sha256.Sum256(m.CanonicalJSON())
+	return hex.EncodeToString(sum[:])
+}
+
+// Failed returns the records whose runner errored.
+func (m *Manifest) Failed() []JobRecord {
+	var out []JobRecord
+	for _, rec := range m.Jobs {
+		if rec.Err != "" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// JobTable renders per-job records: id, experiment, seed, scale, digest,
+// error, then one column per metric (sorted union across jobs). CSV comes
+// free via Table.CSV.
+func (m *Manifest) JobTable() *report.Table {
+	metricSet := map[string]bool{}
+	for _, rec := range m.Jobs {
+		for k := range rec.Values {
+			metricSet[k] = true
+		}
+	}
+	metricCols := sortedKeys(metricSet)
+	t := &report.Table{ID: "sweep", Title: "Sweep jobs",
+		Headers: append([]string{"id", "experiment", "seed", "scale", "digest", "error"}, metricCols...)}
+	for _, rec := range m.Jobs {
+		row := []string{rec.ID, rec.Experiment,
+			fmt.Sprintf("%d", rec.Seed), fmt.Sprintf("%d", rec.Scale),
+			shortDigest(rec.Digest), rec.Err}
+		for _, k := range metricCols {
+			if v, ok := rec.Values[k]; ok {
+				row = append(row, fmt.Sprintf("%.6g", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// GroupTable renders the cross-run spread summaries as a report table.
+func (m *Manifest) GroupTable() *report.Table {
+	t := &report.Table{ID: "sweepgroups", Title: "Sweep cross-run spread",
+		Headers: []string{"experiment", "metric", "n", "min", "q1", "median", "q3", "max", "mean"}}
+	for _, g := range m.Groups {
+		t.AddRowf(g.Experiment, g.Metric, g.N, g.Min, g.Q1, g.Median, g.Q3, g.Max, g.Mean)
+	}
+	return t
+}
+
+// TimingTable renders the nondeterministic sidecar: per-job wall time and
+// the pool size. Never part of the canonical manifest.
+func (m *Manifest) TimingTable() *report.Table {
+	t := &report.Table{ID: "sweeptiming", Title: "Sweep wall-clock (nondeterministic)",
+		Headers: []string{"id", "wall_s"}}
+	var total time.Duration
+	for _, rec := range m.Jobs {
+		w := m.timings[rec.ID]
+		total += w
+		t.AddRowf(rec.ID, w.Seconds())
+	}
+	t.AddNote("workers: %d", m.Workers)
+	t.AddNote("cpu-seconds across jobs: %.1f", total.Seconds())
+	return t
+}
+
+// WallTime returns a job's recorded wall time (0 if unknown).
+func (m *Manifest) WallTime(id string) time.Duration { return m.timings[id] }
+
+func shortDigest(d string) string {
+	if len(d) > 16 {
+		return d[:16]
+	}
+	return d
+}

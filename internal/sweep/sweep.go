@@ -1,0 +1,259 @@
+// Package sweep is the parallel scenario-sweep engine: it fans a set of
+// independent simulation jobs (seed replicates, Scale ladders, parameter
+// grids over Config knobs) across a worker pool, streams per-job results
+// into cross-run statistics, and emits a digest manifest whose canonical
+// bytes are independent of worker count and completion interleaving.
+//
+// Safety model: every job runs a fully isolated World — its own RNG root,
+// its own virtual clock, no mutable state shared with any other job — so
+// the only coordination points are the job queue and the result channel.
+// The manifest is assembled from results indexed by job position and every
+// summary statistic is computed over deterministically ordered values,
+// which is what makes the workers=1 and workers=N manifests byte-identical
+// (see the determinism-under-parallelism regression in the root package).
+//
+// The engine is generic over a Runner so the package carries no dependency
+// on the experiment layer: the root facade (ntpddos.Sweep) supplies the
+// runner that builds a Simulation and digests its tables, while tests
+// drive the pool with synthetic runners under -race.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/scenario"
+)
+
+// Job is one independent scenario execution.
+type Job struct {
+	// ID uniquely names the job within a sweep ("scale=2000/seed=3").
+	ID string
+	// Experiment groups replicate jobs for cross-run aggregation: all jobs
+	// sharing an Experiment value land in the same summary cell.
+	Experiment string
+	// Params records the knob values that define this job, for the manifest.
+	Params map[string]string
+	// Cfg is the fully specified configuration the runner executes. Jobs
+	// must not share mutable state through it (a *metrics.Registry is safe:
+	// its writes are atomic and never feed back into simulation state).
+	Cfg scenario.Config
+}
+
+// Result is what a Runner returns for one completed job.
+type Result struct {
+	// Digest is the run's report digest — the determinism witness.
+	Digest string
+	// Values holds named scalar outcomes (final pool size, event counts,
+	// precision, ...) aggregated into per-experiment summaries. NaN and ±Inf
+	// values are dropped deterministically during collection.
+	Values map[string]float64
+}
+
+// Runner executes one job. It must be safe for concurrent use: the pool
+// calls it from Workers goroutines at once, each with a distinct job.
+type Runner func(Job) (Result, error)
+
+// Options tunes a sweep execution. The zero value runs on GOMAXPROCS
+// workers without instrumentation.
+type Options struct {
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Metrics, when non-nil, attaches live instrumentation (jobs started /
+	// completed / failed, busy workers, per-job wall-time histogram).
+	Metrics *Metrics
+	// Log, when non-nil, receives one progress line per completed job.
+	// Completion order is nondeterministic; nothing logged here may feed
+	// back into the manifest.
+	Log func(format string, args ...any)
+}
+
+// Metrics is the sweep engine's live instrumentation.
+type Metrics struct {
+	JobsStarted   *metrics.Counter
+	JobsCompleted *metrics.Counter
+	JobsFailed    *metrics.Counter
+	WorkersBusy   *metrics.Gauge
+	JobSeconds    *metrics.Histogram
+}
+
+// NewMetrics registers the sweep family on r (nil r yields no-op metrics).
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		JobsStarted: r.NewCounter("ntpsweep_jobs_started_total",
+			"Sweep jobs handed to a worker."),
+		JobsCompleted: r.NewCounter("ntpsweep_jobs_completed_total",
+			"Sweep jobs that finished, successfully or not."),
+		JobsFailed: r.NewCounter("ntpsweep_jobs_failed_total",
+			"Sweep jobs whose runner returned an error or panicked."),
+		WorkersBusy: r.NewGauge("ntpsweep_workers_busy",
+			"Workers currently executing a job."),
+		JobSeconds: r.NewHistogram("ntpsweep_job_wall_seconds",
+			"Wall-clock seconds per completed job.",
+			metrics.ExponentialBuckets(0.5, 2, 12)),
+	}
+}
+
+// done carries one finished job from a worker to the collector.
+type done struct {
+	idx  int
+	rec  JobRecord
+	wall time.Duration
+}
+
+// Run executes jobs on a worker pool and returns the completed manifest.
+// It fails fast on malformed input (nil runner, empty/duplicate job IDs);
+// per-job runner errors and panics are captured in the corresponding
+// JobRecord instead of aborting the sweep.
+func Run(jobs []Job, run Runner, opt Options) (*Manifest, error) {
+	if run == nil {
+		return nil, errors.New("sweep: nil runner")
+	}
+	seen := make(map[string]bool, len(jobs))
+	for i, j := range jobs {
+		if j.ID == "" {
+			return nil, fmt.Errorf("sweep: job %d has no ID", i)
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("sweep: duplicate job ID %q", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	queue := make(chan int)
+	out := make(chan done)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range queue {
+				out <- execute(jobs[idx], idx, run, opt.Metrics)
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			queue <- i
+		}
+		close(queue)
+		wg.Wait()
+		close(out)
+	}()
+
+	// Streaming collection: results are consumed as workers finish (worlds
+	// are released immediately; progress and timing observe real completion
+	// order) but land in their job slot, so everything the manifest derives
+	// from them is interleaving-independent.
+	m := &Manifest{
+		Workers: workers,
+		Jobs:    make([]JobRecord, len(jobs)),
+		timings: make(map[string]time.Duration, len(jobs)),
+	}
+	completed := 0
+	for d := range out {
+		m.Jobs[d.idx] = d.rec
+		m.timings[d.rec.ID] = d.wall
+		completed++
+		if opt.Log != nil {
+			status := "ok"
+			if d.rec.Err != "" {
+				status = "FAILED: " + d.rec.Err
+			}
+			opt.Log("[%d/%d] %s (%.1fs) %s", completed, len(jobs), d.rec.ID,
+				d.wall.Seconds(), status)
+		}
+	}
+	m.summarize()
+	return m, nil
+}
+
+// execute runs one job, translating errors and panics into the record.
+func execute(j Job, idx int, run Runner, m *Metrics) done {
+	if m != nil {
+		m.JobsStarted.Inc()
+		m.WorkersBusy.Inc()
+	}
+	start := time.Now()
+	res, err := runSafely(run, j)
+	wall := time.Since(start)
+	if m != nil {
+		m.WorkersBusy.Dec()
+		m.JobsCompleted.Inc()
+		if err != nil {
+			m.JobsFailed.Inc()
+		}
+		m.JobSeconds.Observe(wall.Seconds())
+	}
+	rec := JobRecord{
+		Index:      idx,
+		ID:         j.ID,
+		Experiment: j.Experiment,
+		Params:     j.Params,
+		Seed:       j.Cfg.Seed,
+		Scale:      j.Cfg.Scale,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		return done{idx: idx, rec: rec, wall: wall}
+	}
+	rec.Digest = res.Digest
+	rec.Values = finiteValues(res.Values)
+	return done{idx: idx, rec: rec, wall: wall}
+}
+
+// runSafely invokes the runner, converting a panic into an error so one
+// broken job cannot take down a hundred-job sweep.
+func runSafely(run Runner, j Job) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(j)
+}
+
+// finiteValues drops NaN/Inf entries — they would poison both the JSON
+// encoding and the summary statistics — and copies the rest.
+func finiteValues(in map[string]float64) map[string]float64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(in))
+	for k, v := range in {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out[k] = v
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

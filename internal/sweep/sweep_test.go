@@ -1,0 +1,309 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/scenario"
+)
+
+// fakeJobs builds n jobs with distinct IDs and seeds (no scenario run is
+// ever executed by these tests; runners are synthetic).
+func fakeJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		cfg := scenario.TestConfig()
+		cfg.Seed = uint64(i + 1)
+		jobs[i] = Job{
+			ID:         fmt.Sprintf("job-%02d", i),
+			Experiment: fmt.Sprintf("cell-%d", i%3),
+			Params:     map[string]string{"seed": fmt.Sprintf("%d", i+1)},
+			Cfg:        cfg,
+		}
+	}
+	return jobs
+}
+
+// fakeRunner derives a deterministic digest and value set from the job
+// itself, with a per-job busy-wait so completion order genuinely varies
+// between pool sizes.
+func fakeRunner(j Job) (Result, error) {
+	sum := sha256.Sum256([]byte(j.ID))
+	// Jitter completion order: later jobs finish sooner on a wide pool.
+	time.Sleep(time.Duration(sum[0]%8) * time.Millisecond)
+	return Result{
+		Digest: hex.EncodeToString(sum[:]),
+		Values: map[string]float64{
+			"seed":  float64(j.Cfg.Seed),
+			"third": float64(j.Cfg.Seed) / 3.0, // non-terminating binary fraction
+		},
+	}, nil
+}
+
+func TestRunExecutesAllJobs(t *testing.T) {
+	jobs := fakeJobs(10)
+	m, err := Run(jobs, fakeRunner, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Jobs) != 10 {
+		t.Fatalf("manifest has %d jobs, want 10", len(m.Jobs))
+	}
+	for i, rec := range m.Jobs {
+		if rec.ID != jobs[i].ID {
+			t.Fatalf("job %d out of order: got %q want %q", i, rec.ID, jobs[i].ID)
+		}
+		if rec.Index != i || rec.Err != "" || rec.Digest == "" {
+			t.Fatalf("bad record %d: %+v", i, rec)
+		}
+		if rec.Seed != jobs[i].Cfg.Seed {
+			t.Fatalf("job %d seed %d, want %d", i, rec.Seed, jobs[i].Cfg.Seed)
+		}
+		if m.WallTime(rec.ID) < 0 {
+			t.Fatalf("job %d has no wall time", i)
+		}
+	}
+	if len(m.Failed()) != 0 {
+		t.Fatalf("unexpected failures: %v", m.Failed())
+	}
+}
+
+// TestManifestInterleavingIndependence is the in-package half of the
+// determinism-under-parallelism wall: the same job set executed on pools of
+// 1, 2, 3 and 8 workers must produce byte-identical canonical manifests,
+// even though completion interleaving differs every time. Float summary
+// accumulation in arrival order would fail this (float addition is not
+// associative); so would any map-iteration output path. Run under -race
+// this also exercises the queue/collector synchronization.
+func TestManifestInterleavingIndependence(t *testing.T) {
+	jobs := fakeJobs(24)
+	var want []byte
+	var wantDigest string
+	for _, workers := range []int{1, 2, 3, 8} {
+		m, err := Run(jobs, fakeRunner, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.CanonicalJSON()
+		if want == nil {
+			want, wantDigest = got, m.Digest()
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d canonical manifest differs from workers=1:\n%s\nvs\n%s",
+				workers, got, want)
+		}
+		if m.Digest() != wantDigest {
+			t.Fatalf("workers=%d manifest digest %s, want %s", workers, m.Digest(), wantDigest)
+		}
+	}
+	if !strings.Contains(string(want), `"job-00"`) {
+		t.Fatalf("canonical manifest missing job records:\n%s", want)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Run(fakeJobs(1), nil, Options{}); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+	jobs := fakeJobs(2)
+	jobs[1].ID = jobs[0].ID
+	if _, err := Run(jobs, fakeRunner, Options{}); err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+	jobs[1].ID = ""
+	if _, err := Run(jobs, fakeRunner, Options{}); err == nil {
+		t.Fatal("empty job ID accepted")
+	}
+	m, err := Run(nil, fakeRunner, Options{})
+	if err != nil || len(m.Jobs) != 0 {
+		t.Fatalf("empty job set: manifest %+v err %v", m, err)
+	}
+}
+
+func TestErrorsAndPanicsCaptured(t *testing.T) {
+	jobs := fakeJobs(4)
+	runner := func(j Job) (Result, error) {
+		switch j.ID {
+		case "job-01":
+			return Result{}, errors.New("boom")
+		case "job-02":
+			panic("kaboom")
+		}
+		return fakeRunner(j)
+	}
+	m, err := Run(jobs, runner, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := m.Failed()
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v, want job-01 and job-02", failed)
+	}
+	if m.Jobs[1].Err != "boom" || !strings.Contains(m.Jobs[2].Err, "kaboom") {
+		t.Fatalf("errors not captured: %q / %q", m.Jobs[1].Err, m.Jobs[2].Err)
+	}
+	// Failed jobs contribute nothing to the summaries: cell-1 and cell-2
+	// lost their only replicate (job-01, job-02), so only cell-0 remains.
+	for _, g := range m.Groups {
+		if g.Experiment != "cell-0" {
+			t.Fatalf("failed job leaked into summary: %+v", g)
+		}
+		if g.N != 2 {
+			t.Fatalf("cell-0 summarised %d replicates, want 2 (job-00, job-03): %+v", g.N, g)
+		}
+	}
+}
+
+func TestNonFiniteValuesDropped(t *testing.T) {
+	jobs := fakeJobs(2)
+	runner := func(j Job) (Result, error) {
+		return Result{Digest: "d", Values: map[string]float64{
+			"ok":  1.5,
+			"nan": math.NaN(),
+			"inf": math.Inf(1),
+		}}, nil
+	}
+	m, err := Run(jobs, runner, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range m.Jobs {
+		if _, ok := rec.Values["nan"]; ok {
+			t.Fatal("NaN survived collection")
+		}
+		if _, ok := rec.Values["inf"]; ok {
+			t.Fatal("Inf survived collection")
+		}
+		if rec.Values["ok"] != 1.5 {
+			t.Fatalf("finite value mangled: %v", rec.Values)
+		}
+	}
+	// The canonical form must be encodable (json.Marshal rejects NaN).
+	if len(m.CanonicalJSON()) == 0 {
+		t.Fatal("empty canonical JSON")
+	}
+}
+
+func TestGroupSummaries(t *testing.T) {
+	base := scenario.TestConfig()
+	grid := Grid{Base: base, Name: "g", Seeds: []uint64{1, 2, 3, 4, 5}}
+	runner := func(j Job) (Result, error) {
+		return Result{Digest: "d" + j.ID,
+			Values: map[string]float64{"v": float64(j.Cfg.Seed) * 10}}, nil
+	}
+	m, err := Run(grid.Jobs(), runner, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Groups) != 1 {
+		t.Fatalf("groups = %+v, want one (g, v) cell", m.Groups)
+	}
+	g := m.Groups[0]
+	if g.Experiment != "g" || g.Metric != "v" || g.N != 5 {
+		t.Fatalf("bad group identity: %+v", g)
+	}
+	if g.Min != 10 || g.Median != 30 || g.Max != 50 || g.Mean != 30 {
+		t.Fatalf("bad spread stats: %+v", g)
+	}
+	tab := m.GroupTable()
+	if len(tab.Rows) != 1 || tab.Rows[0][0] != "g" {
+		t.Fatalf("group table: %v", tab.Rows)
+	}
+	jt := m.JobTable()
+	if len(jt.Rows) != 5 || jt.CSV() == "" {
+		t.Fatalf("job table: %v", jt.Rows)
+	}
+}
+
+func TestMetricsInstrumentation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sm := NewMetrics(reg)
+	jobs := fakeJobs(6)
+	runner := func(j Job) (Result, error) {
+		if j.ID == "job-05" {
+			return Result{}, errors.New("nope")
+		}
+		return fakeRunner(j)
+	}
+	if _, err := Run(jobs, runner, Options{Workers: 3, Metrics: sm}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sm.JobsStarted.Value(); got != 6 {
+		t.Fatalf("jobs started = %d, want 6", got)
+	}
+	if got := sm.JobsCompleted.Value(); got != 6 {
+		t.Fatalf("jobs completed = %d, want 6", got)
+	}
+	if got := sm.JobsFailed.Value(); got != 1 {
+		t.Fatalf("jobs failed = %d, want 1", got)
+	}
+	if got := sm.WorkersBusy.Value(); got != 0 {
+		t.Fatalf("workers busy after drain = %v, want 0", got)
+	}
+	if got := sm.JobSeconds.Count(); got != 6 {
+		t.Fatalf("wall histogram count = %d, want 6", got)
+	}
+	text := reg.RenderText()
+	if !strings.Contains(text, "ntpsweep_jobs_started_total") {
+		t.Fatalf("exposition missing sweep family:\n%s", text)
+	}
+}
+
+// burn spins real CPU (hashing) for roughly the asked duration's worth of
+// work, calibrated in iterations rather than wall time so contention slows
+// it down honestly (a time.Sleep would parallelize perfectly and prove
+// nothing).
+func burn(iters int) [32]byte {
+	var h [32]byte
+	binary.BigEndian.PutUint64(h[:8], uint64(iters))
+	for i := 0; i < iters; i++ {
+		h = sha256.Sum256(h[:])
+	}
+	return h
+}
+
+// TestParallelSpeedup pins that the pool actually runs jobs concurrently:
+// 8 CPU-bound replicates on a 4-worker pool must beat the serial pool by a
+// comfortable margin. The scenario-level speedup (the ≥3× acceptance bar on
+// a 4-core runner) is measured by BenchmarkSweepReplicates in the root
+// package; this synthetic version is load-independent enough to assert in
+// every CI run.
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup bound (have %d)", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	jobs := fakeJobs(8)
+	runner := func(j Job) (Result, error) {
+		h := burn(400_000)
+		return Result{Digest: hex.EncodeToString(h[:])}, nil
+	}
+	measure := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := Run(jobs, runner, Options{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	measure(4) // warm up
+	serial := measure(1)
+	parallel := measure(4)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, 4 workers %v: %.2fx", serial, parallel, speedup)
+	if speedup < 2.5 {
+		t.Fatalf("4-worker pool only %.2fx faster than serial (serial %v, parallel %v)",
+			speedup, serial, parallel)
+	}
+}

@@ -1,0 +1,129 @@
+package ntpddos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ntpddos/internal/detect"
+)
+
+// sweepTestConfig is the cheapest full-pipeline world: the window truncates
+// right after the first monlist survey, so every run still renders all 33
+// tables and streams live honeypot events in a few seconds.
+func sweepTestConfig() Config {
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.End = time.Date(2014, 1, 17, 0, 0, 0, 0, time.UTC)
+	return cfg
+}
+
+// TestSweepWorkersByteIdentical is the scenario-level half of the
+// determinism-under-parallelism wall (the synthetic half lives in
+// internal/sweep): the same replicate job set executed serially and on an
+// oversubscribed 8-worker pool must produce byte-identical canonical
+// manifests — same per-run digests, same aggregated statistics, same bytes.
+func TestSweepWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	jobs := SweepReplicates("par", sweepTestConfig(), 1, 2)
+	serial, err := Sweep(jobs, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(jobs, SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.CanonicalJSON(), parallel.CanonicalJSON()) {
+		t.Fatalf("workers=1 and workers=8 manifests differ:\n%s\nvs\n%s",
+			serial.CanonicalJSON(), parallel.CanonicalJSON())
+	}
+	if serial.Digest() != parallel.Digest() {
+		t.Fatalf("manifest digests differ: %s vs %s", serial.Digest(), parallel.Digest())
+	}
+	for i, rec := range serial.Jobs {
+		if rec.Digest == "" || rec.Digest != parallel.Jobs[i].Digest {
+			t.Fatalf("job %s per-run digest differs: %q vs %q",
+				rec.ID, rec.Digest, parallel.Jobs[i].Digest)
+		}
+	}
+}
+
+// TestSweepReplicateInvariants is the property wall: every small-seed
+// replicate pushed through the sweep engine must satisfy the scenario
+// invariants the paper's narrative depends on — the monlist amplifier pool
+// collapses after the publicity window, the honeypot pipeline stays
+// high-precision, the detector stays high-precision when enabled, and the
+// table inventory never flickers across seeds.
+func TestSweepReplicateInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := sweepTestConfig()
+	// Extend past the publicity window so the weekly surveys capture the
+	// decline (4 pool samples by Feb 1).
+	cfg.End = time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC)
+	dcfg := detect.DefaultConfig()
+	cfg.Detector = &dcfg
+	m, err := Sweep(SweepReplicates("prop", cfg, 1, 2, 3, 4), SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := m.Failed(); len(failed) > 0 {
+		t.Fatalf("replicates failed: %+v", failed)
+	}
+	for _, rec := range m.Jobs {
+		v := rec.Values
+		id := fmt.Sprintf("seed %d", rec.Seed)
+		if v["tables"] != 33 {
+			t.Errorf("%s: %v tables, want 33 for every replicate", id, v["tables"])
+		}
+		// Figure 3's core claim: the amplifier pool after the publicity
+		// window is a fraction of the initial pool. Tiny-scale pools are
+		// noisy week to week, so assert the overall collapse, not strict
+		// monotonicity.
+		if v["pool_first"] <= 0 {
+			t.Errorf("%s: no initial amplifier pool (%v)", id, v["pool_first"])
+		}
+		if v["pool_last"] >= v["pool_first"] {
+			t.Errorf("%s: pool did not decline: first %v, last %v",
+				id, v["pool_first"], v["pool_last"])
+		}
+		if v["pool_decline_pct"] < 40 {
+			t.Errorf("%s: pool declined only %.1f%%, want >= 40%% after publicity window",
+				id, v["pool_decline_pct"])
+		}
+		if v["hp_events"] <= 0 {
+			t.Errorf("%s: honeypot saw no attack events", id)
+		}
+		if v["hp_precision"] < 0.9 {
+			t.Errorf("%s: honeypot precision %.3f, want >= 0.9", id, v["hp_precision"])
+		}
+		if v["det_precision"] < 0.9 {
+			t.Errorf("%s: detector precision %.3f, want >= 0.9", id, v["det_precision"])
+		}
+		if v["det_recall"] <= 0 {
+			t.Errorf("%s: detector recall %.3f, want > 0", id, v["det_recall"])
+		}
+	}
+	// The cross-run spread must cover the replicate metrics (one cell,
+	// every metric summarized over all four seeds).
+	found := map[string]bool{}
+	for _, g := range m.Groups {
+		if g.Experiment != "prop" {
+			t.Fatalf("unexpected group cell %q", g.Experiment)
+		}
+		found[g.Metric] = true
+		if g.N != 4 && g.Metric != "pool_decline_pct" {
+			t.Errorf("metric %s summarized %d replicates, want 4", g.Metric, g.N)
+		}
+	}
+	for _, metric := range []string{"pool_first", "pool_last", "hp_precision", "det_precision", "tables"} {
+		if !found[metric] {
+			t.Errorf("spread summary missing metric %s (have %v)", metric, found)
+		}
+	}
+}
