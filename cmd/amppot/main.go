@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"ntpddos"
+	"ntpddos/internal/buildinfo"
 )
 
 func main() {
@@ -27,7 +28,9 @@ func main() {
 		events  = flag.Bool("events", false, "also print each detected event")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("amppot", *showVersion)
 
 	cfg := ntpddos.QuickConfig()
 	cfg.Scale = *scale

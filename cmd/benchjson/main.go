@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"ntpddos/internal/buildinfo"
 )
 
 // Result is one benchmark measurement.
@@ -56,7 +58,9 @@ func main() {
 		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		mem   = flag.Bool("benchmem", true, "pass -benchmem (B/op and allocs/op)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("benchjson", *showVersion)
 
 	snap := Snapshot{
 		Date:   time.Now().UTC().Format("2006-01-02"),

@@ -10,6 +10,7 @@ import (
 	"os"
 	"time"
 
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/scenario"
 	"ntpddos/internal/stats"
 	"ntpddos/internal/vtime"
@@ -20,7 +21,9 @@ func main() {
 		scale = flag.Int("scale", 2000, "population divisor")
 		seed  = flag.Uint64("seed", 1, "world seed")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("darknetwatch", *showVersion)
 
 	cfg := scenario.TestConfig()
 	cfg.Scale = *scale

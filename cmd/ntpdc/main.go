@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/core"
 	"ntpddos/internal/ntp"
 )
@@ -26,7 +27,9 @@ import (
 func main() {
 	command := flag.String("c", "monlist", "command: monlist | listpeers | rv")
 	wait := flag.Duration("wait", time.Second, "response window")
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("ntpdc", *showVersion)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ntpdc -c <command> host:port")
 		os.Exit(2)

@@ -9,7 +9,7 @@
 //	ntpscan -target 127.0.0.1:11123 -mode monlist
 //
 // The daemon answers mode 3 time requests, mode 7 monlist queries (when
-// -monlist is on) and mode 6 readvar queries (when -version is on), with
+// -monlist is on) and mode 6 readvar queries (when -mode6 is on), with
 // the same monitor-table semantics the simulation uses: 600-entry MRU cap,
 // per-client counts, modes, and inter-arrival times.
 //
@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
@@ -39,14 +40,16 @@ func main() {
 	var (
 		listen      = flag.String("listen", "127.0.0.1:11123", "UDP address to serve")
 		monlist     = flag.Bool("monlist", true, "answer mode 7 monlist queries (the vulnerability)")
-		version     = flag.Bool("version", true, "answer mode 6 readvar queries")
+		mode6       = flag.Bool("mode6", true, "answer mode 6 readvar queries")
 		stratum     = flag.Int("stratum", 2, "reported stratum (16 = unsynchronized)")
 		system      = flag.String("system", "linux", "reported system string")
 		prime       = flag.Int("prime", 0, "pre-fill the monitor table with N synthetic clients")
 		quiet       = flag.Bool("quiet", false, "suppress per-query logging")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address (e.g. :9123)")
+		showVersion = buildinfo.Flag()
 	)
 	flag.Parse()
+	buildinfo.Handle("ntpdsim", *showVersion)
 
 	var (
 		reg   *metrics.Registry
@@ -69,7 +72,7 @@ func main() {
 		Addr:           0, // real transport; fabric address unused
 		Stratum:        *stratum,
 		MonlistEnabled: *monlist,
-		Mode6Enabled:   *version,
+		Mode6Enabled:   *mode6,
 		ExtraVarBytes:  300,
 		Metrics:        ntpdM,
 		Profile: ntpd.Profile{
@@ -92,8 +95,8 @@ func main() {
 		log.Fatalf("ntpdsim: %v", err)
 	}
 	defer conn.Close()
-	fmt.Fprintf(os.Stderr, "ntpdsim: serving NTP on %s (monlist=%v version=%v stratum=%d, %d primed clients)\n",
-		conn.LocalAddr(), *monlist, *version, *stratum, srv.MRULen())
+	fmt.Fprintf(os.Stderr, "ntpdsim: serving NTP on %s (monlist=%v mode6=%v stratum=%d, %d primed clients)\n",
+		conn.LocalAddr(), *monlist, *mode6, *stratum, srv.MRULen())
 
 	// The daemon socket is up: report healthy, and drain the exporter
 	// gracefully on SIGINT/SIGTERM (closing the UDP socket unblocks the read

@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/core"
 	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
@@ -41,7 +42,9 @@ func main() {
 		showTab     = flag.Bool("table", true, "print reconstructed monlist tables")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address for the scan's duration (e.g. :9124)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("ntpscan", *showVersion)
 
 	// Sweep instrumentation: the same ntpsim_scan_* families the simulated
 	// surveys export, labeled by probe kind.

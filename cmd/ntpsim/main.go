@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"ntpddos"
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/detect"
 	"ntpddos/internal/metrics"
 )
@@ -35,7 +36,9 @@ func main() {
 		detector    = flag.Bool("detect", false, "attach the streaming detection plane and print its report after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the run progresses (e.g. :9091)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("ntpsim", *showVersion)
 
 	cfg := ntpddos.DefaultConfig()
 	if *quick {

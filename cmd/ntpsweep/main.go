@@ -17,21 +17,27 @@
 //	ntpsweep -seeds 1-4 -csv                    # per-job CSV on stdout
 //
 // The group-summary table and per-job timing go to stderr; the manifest
-// (canonical JSON, or CSV with -csv) goes to stdout or -out.
+// (canonical JSON, or CSV with -csv) goes to stdout or -out. SIGINT or
+// SIGTERM interrupts the sweep cleanly: in-flight jobs finish, unrun jobs
+// are recorded as canceled, and the partial manifest is still emitted
+// (exit status 1).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ntpddos"
-	"ntpddos/internal/detect"
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/metrics"
-	"ntpddos/internal/scenario"
 	"ntpddos/internal/sweep"
 )
 
@@ -51,20 +57,19 @@ func main() {
 		out         = flag.String("out", "-", "manifest destination (- = stdout)")
 		quiet       = flag.Bool("q", false, "suppress per-job progress lines")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address during the sweep (e.g. :9091)")
+		showVersion = buildinfo.Flag()
 	)
 	flag.Parse()
+	buildinfo.Handle("ntpsweep", *showVersion)
 
+	spec, err := buildSpec(*name, *seedSpec, *scaleSpec, *endSpec, *detectSpec,
+		*noremSpec, *spoofSpec, *hazardSpec)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	base := ntpddos.DefaultConfig()
 	base.Scale = *scale
-	if *endSpec != "" {
-		end, err := time.Parse("2006-01-02", *endSpec)
-		if err != nil {
-			fatalf("bad -end %q: %v", *endSpec, err)
-		}
-		base.End = end
-	}
-
-	grid, err := buildGrid(base, *name, *seedSpec, *scaleSpec, *detectSpec, *noremSpec, *spoofSpec, *hazardSpec)
+	grid, err := spec.Grid(base)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -88,13 +93,24 @@ func main() {
 		exp.SetReady(true)
 	}
 
+	// SIGINT/SIGTERM cancel the sweep: in-flight jobs finish, queued jobs
+	// are skipped, and the partial manifest below is still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	fmt.Fprintf(os.Stderr, "ntpsweep: %d jobs (%s)\n", len(jobs), gridShape(grid))
 	start := time.Now()
-	manifest, err := ntpddos.Sweep(jobs, opt)
-	if err != nil {
+	manifest, err := ntpddos.SweepContext(ctx, jobs, opt)
+	canceled := errors.Is(err, ntpddos.ErrSweepCanceled)
+	if err != nil && !canceled {
 		fatalf("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "ntpsweep: done in %v\n\n", time.Since(start).Round(time.Second))
+	if canceled {
+		fmt.Fprintf(os.Stderr, "ntpsweep: interrupted after %v — emitting partial manifest (%v)\n",
+			time.Since(start).Round(time.Second), err)
+	} else {
+		fmt.Fprintf(os.Stderr, "ntpsweep: done in %v\n\n", time.Since(start).Round(time.Second))
+	}
 
 	fmt.Fprintln(os.Stderr, manifest.GroupTable().Render())
 	fmt.Fprintln(os.Stderr, manifest.TimingTable().Render())
@@ -116,7 +132,7 @@ func main() {
 	} else if err := os.WriteFile(*out, payload, 0o644); err != nil {
 		fatalf("writing %s: %v", *out, err)
 	}
-	if len(manifest.Failed()) > 0 {
+	if canceled || len(manifest.Failed()) > 0 {
 		os.Exit(1)
 	}
 }
@@ -126,63 +142,38 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
-// buildGrid assembles the sweep grid from the flag specs.
-func buildGrid(base scenario.Config, name, seedSpec, scaleSpec, detectSpec, noremSpec, spoofSpec, hazardSpec string) (sweep.Grid, error) {
-	g := sweep.Grid{Base: base, Name: name}
-	var err error
-	if g.Seeds, err = parseSeeds(seedSpec); err != nil {
-		return g, err
+// buildSpec assembles the declarative sweep spec from the flag strings; the
+// same spec, as JSON, is what cmd/ntpserved accepts over HTTP.
+func buildSpec(name, seedSpec, scaleSpec, endSpec, detectSpec, noremSpec, spoofSpec, hazardSpec string) (sweep.Spec, error) {
+	s := sweep.Spec{
+		Name:          name,
+		Seeds:         seedSpec,
+		End:           endSpec,
+		Detect:        detectSpec,
+		NoRemediation: noremSpec,
 	}
 	if scaleSpec != "" {
 		scales, err := parseInts(scaleSpec)
 		if err != nil {
-			return g, fmt.Errorf("bad -scales: %w", err)
+			return s, fmt.Errorf("bad -scales: %w", err)
 		}
-		g.Scales = scales
-	}
-	addOnOff := func(spec, name string, set func(*scenario.Config)) error {
-		vals, err := onOffKnob(spec, set)
-		if err != nil {
-			return fmt.Errorf("bad -%s %q: %w", name, spec, err)
-		}
-		if vals != nil {
-			g.Knobs = append(g.Knobs, sweep.Knob{Name: name, Values: vals})
-		}
-		return nil
-	}
-	if err := addOnOff(detectSpec, "detect", func(c *scenario.Config) {
-		dcfg := detect.DefaultConfig()
-		c.Detector = &dcfg
-	}); err != nil {
-		return g, err
-	}
-	if err := addOnOff(noremSpec, "noremediation", func(c *scenario.Config) {
-		c.NoRemediation = true
-	}); err != nil {
-		return g, err
+		s.Scales = scales
 	}
 	if spoofSpec != "" {
-		vals, err := floatKnob(spoofSpec, func(c *scenario.Config, v float64) {
-			if v == 0 {
-				v = -1 // Config uses 0 for "default"; 0 on the CLI means nobody spoofs
-			}
-			c.SpooferFraction = v
-		})
+		vals, err := parseFloats(spoofSpec)
 		if err != nil {
-			return g, fmt.Errorf("bad -spoof: %w", err)
+			return s, fmt.Errorf("bad -spoof: %w", err)
 		}
-		g.Knobs = append(g.Knobs, sweep.Knob{Name: "spoof", Values: vals})
+		s.Spoof = vals
 	}
 	if hazardSpec != "" {
-		vals, err := floatKnob(hazardSpec, func(c *scenario.Config, v float64) {
-			c.RemediationHazard = v
-		})
+		vals, err := parseFloats(hazardSpec)
 		if err != nil {
-			return g, fmt.Errorf("bad -hazard: %w", err)
+			return s, fmt.Errorf("bad -hazard: %w", err)
 		}
-		g.Knobs = append(g.Knobs, sweep.Knob{Name: "hazard", Values: vals})
+		s.Hazard = vals
 	}
-	return g, nil
+	return s, nil
 }
 
 func gridShape(g sweep.Grid) string {
@@ -194,40 +185,6 @@ func gridShape(g sweep.Grid) string {
 		parts = append(parts, fmt.Sprintf("%s×%d", k.Name, len(k.Values)))
 	}
 	return strings.Join(parts, ", ")
-}
-
-// parseSeeds expands "1-16" / "1,5,9-12" into an ordered seed list.
-func parseSeeds(spec string) ([]uint64, error) {
-	var seeds []uint64
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		if lo, hi, ok := strings.Cut(part, "-"); ok {
-			a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
-			b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
-			if err1 != nil || err2 != nil || b < a {
-				return nil, fmt.Errorf("bad seed range %q", part)
-			}
-			if b-a >= 10_000 {
-				return nil, fmt.Errorf("seed range %q too large", part)
-			}
-			for s := a; s <= b; s++ {
-				seeds = append(seeds, s)
-			}
-			continue
-		}
-		s, err := strconv.ParseUint(part, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad seed %q", part)
-		}
-		seeds = append(seeds, s)
-	}
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("no seeds in %q", spec)
-	}
-	return seeds, nil
 }
 
 func parseInts(spec string) ([]int, error) {
@@ -249,24 +206,8 @@ func parseInts(spec string) ([]int, error) {
 	return out, nil
 }
 
-// onOffKnob maps off/on/both to knob values; "off" returns nil (no grid
-// dimension at all, keeping manifest cells clean).
-func onOffKnob(spec string, set func(*scenario.Config)) ([]sweep.KnobValue, error) {
-	off := sweep.KnobValue{Label: "off", Apply: func(*scenario.Config) {}}
-	on := sweep.KnobValue{Label: "on", Apply: set}
-	switch spec {
-	case "", "off":
-		return nil, nil
-	case "on":
-		return []sweep.KnobValue{on}, nil
-	case "both":
-		return []sweep.KnobValue{off, on}, nil
-	}
-	return nil, fmt.Errorf("want off, on, or both")
-}
-
-func floatKnob(spec string, set func(*scenario.Config, float64)) ([]sweep.KnobValue, error) {
-	var vals []sweep.KnobValue
+func parseFloats(spec string) ([]float64, error) {
+	var out []float64
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -276,13 +217,10 @@ func floatKnob(spec string, set func(*scenario.Config, float64)) ([]sweep.KnobVa
 		if err != nil {
 			return nil, fmt.Errorf("bad value %q", part)
 		}
-		vals = append(vals, sweep.KnobValue{
-			Label: part,
-			Apply: func(c *scenario.Config) { set(c, v) },
-		})
+		out = append(out, v)
 	}
-	if len(vals) == 0 {
+	if len(out) == 0 {
 		return nil, fmt.Errorf("empty list %q", spec)
 	}
-	return vals, nil
+	return out, nil
 }

@@ -6,46 +6,6 @@ import (
 	"ntpddos/internal/scenario"
 )
 
-func TestParseSeeds(t *testing.T) {
-	cases := []struct {
-		spec string
-		want []uint64
-		err  bool
-	}{
-		{spec: "1", want: []uint64{1}},
-		{spec: "1-4", want: []uint64{1, 2, 3, 4}},
-		{spec: "1,5,9-11", want: []uint64{1, 5, 9, 10, 11}},
-		{spec: " 2 , 3 ", want: []uint64{2, 3}},
-		{spec: "", err: true},
-		{spec: "x", err: true},
-		{spec: "5-2", err: true},
-		{spec: "1-999999", err: true},
-	}
-	for _, c := range cases {
-		got, err := parseSeeds(c.spec)
-		if c.err {
-			if err == nil {
-				t.Errorf("parseSeeds(%q) accepted, want error", c.spec)
-			}
-			continue
-		}
-		if err != nil {
-			t.Errorf("parseSeeds(%q): %v", c.spec, err)
-			continue
-		}
-		if len(got) != len(c.want) {
-			t.Errorf("parseSeeds(%q) = %v, want %v", c.spec, got, c.want)
-			continue
-		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Errorf("parseSeeds(%q) = %v, want %v", c.spec, got, c.want)
-				break
-			}
-		}
-	}
-}
-
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("2000, 4000")
 	if err != nil || len(got) != 2 || got[0] != 2000 || got[1] != 4000 {
@@ -58,51 +18,29 @@ func TestParseInts(t *testing.T) {
 	}
 }
 
-func TestOnOffKnob(t *testing.T) {
-	set := func(c *scenario.Config) { c.NoRemediation = true }
-	if vals, err := onOffKnob("off", set); err != nil || vals != nil {
-		t.Fatalf("off: %v, %v", vals, err)
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, 0.5,2")
+	if err != nil || len(got) != 3 || got[0] != 0.1 || got[2] != 2 {
+		t.Fatalf("parseFloats = %v, %v", got, err)
 	}
-	vals, err := onOffKnob("both", set)
-	if err != nil || len(vals) != 2 || vals[0].Label != "off" || vals[1].Label != "on" {
-		t.Fatalf("both: %v, %v", vals, err)
-	}
-	var cfg scenario.Config
-	vals[0].Apply(&cfg)
-	if cfg.NoRemediation {
-		t.Fatal("off value mutated the config")
-	}
-	vals[1].Apply(&cfg)
-	if !cfg.NoRemediation {
-		t.Fatal("on value did not mutate the config")
-	}
-	if _, err := onOffKnob("maybe", set); err == nil {
-		t.Fatal("bad spec accepted")
+	for _, bad := range []string{"", "zz", "0.1,zz"} {
+		if _, err := parseFloats(bad); err == nil {
+			t.Errorf("parseFloats(%q) accepted, want error", bad)
+		}
 	}
 }
 
-func TestFloatKnobCapturesEachValue(t *testing.T) {
-	vals, err := floatKnob("0.1,0.5", func(c *scenario.Config, v float64) {
-		c.SpooferFraction = v
-	})
-	if err != nil || len(vals) != 2 {
-		t.Fatalf("floatKnob: %v, %v", vals, err)
+// TestBuildSpecMatchesFlags pins the flags → Spec → Grid path: the CLI must
+// expand exactly the same job list a JSON job spec with the same fields
+// yields, since that is what makes daemon-run sweeps comparable to CLI runs.
+func TestBuildSpecMatchesFlags(t *testing.T) {
+	spec, err := buildSpec("sens", "1-3", "2000,4000", "", "both", "off", "0.25,0.5", "")
+	if err != nil {
+		t.Fatal(err)
 	}
-	var a, b scenario.Config
-	vals[0].Apply(&a)
-	vals[1].Apply(&b)
-	if a.SpooferFraction != 0.1 || b.SpooferFraction != 0.5 {
-		t.Fatalf("captured values wrong: %v / %v", a.SpooferFraction, b.SpooferFraction)
-	}
-	if _, err := floatKnob("0.1,zz", nil); err == nil {
-		t.Fatal("bad float accepted")
-	}
-}
-
-func TestBuildGridShapes(t *testing.T) {
 	base := scenario.TestConfig()
-
-	g, err := buildGrid(base, "sens", "1-3", "2000,4000", "both", "off", "0.25,0.5", "")
+	base.Scale = 2000
+	g, err := spec.Grid(base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,51 +52,30 @@ func TestBuildGridShapes(t *testing.T) {
 	if jobs[0].ID != "sens/scale=2000/detect=off/spoof=0.25/seed=1" {
 		t.Fatalf("first job ID = %q", jobs[0].ID)
 	}
-	for _, j := range jobs {
-		switch j.Params["spoof"] {
-		case "0.25":
-			if j.Cfg.SpooferFraction != 0.25 {
-				t.Fatalf("job %s spoof = %v", j.ID, j.Cfg.SpooferFraction)
-			}
-		case "0.5":
-			if j.Cfg.SpooferFraction != 0.5 {
-				t.Fatalf("job %s spoof = %v", j.ID, j.Cfg.SpooferFraction)
-			}
-		default:
-			t.Fatalf("job %s missing spoof param", j.ID)
-		}
-		if (j.Params["detect"] == "on") != (j.Cfg.Detector != nil) {
-			t.Fatalf("job %s detector mismatch: %v", j.ID, j.Cfg.Detector)
-		}
-	}
-
-	// CLI spoof 0 means "nobody spoofs", which Config spells as negative.
-	g, err = buildGrid(base, "", "1", "", "off", "off", "0", "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := g.Jobs()[0].Cfg.SpooferFraction; got >= 0 {
-		t.Fatalf("spoof=0 mapped to %v, want negative (disable)", got)
-	}
-
-	// Hazard knob lands on RemediationHazard.
-	g, err = buildGrid(base, "", "1", "", "off", "off", "", "0.5,2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	jobs = g.Jobs()
-	if len(jobs) != 2 || jobs[0].Cfg.RemediationHazard != 0.5 || jobs[1].Cfg.RemediationHazard != 2 {
-		t.Fatalf("hazard jobs: %+v", jobs)
-	}
 
 	// Errors surface with the flag name attached.
-	if _, err := buildGrid(base, "", "zz", "", "off", "off", "", ""); err == nil {
+	if _, err := buildSpec("", "1", "x", "", "off", "off", "", ""); err == nil {
+		t.Fatal("bad -scales accepted")
+	}
+	if _, err := buildSpec("", "1", "", "", "off", "off", "zz", ""); err == nil {
+		t.Fatal("bad -spoof accepted")
+	}
+	if _, err := buildSpec("", "1", "", "", "off", "off", "", "zz"); err == nil {
+		t.Fatal("bad -hazard accepted")
+	}
+	// Bad seeds and bad knob specs are caught at Grid compile time.
+	spec, err = buildSpec("", "zz", "", "", "off", "off", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Grid(base); err == nil {
 		t.Fatal("bad seeds accepted")
 	}
-	if _, err := buildGrid(base, "", "1", "x", "off", "off", "", ""); err == nil {
-		t.Fatal("bad scales accepted")
+	spec, err = buildSpec("", "1", "", "", "sometimes", "off", "", "")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := buildGrid(base, "", "1", "", "sometimes", "off", "", ""); err == nil {
+	if _, err := spec.Grid(base); err == nil {
 		t.Fatal("bad detect spec accepted")
 	}
 }

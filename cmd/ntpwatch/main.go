@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/detect"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
@@ -45,7 +46,9 @@ func main() {
 		interval = flag.Duration("interval", 10*time.Second, "live mode: poll spacing")
 		topk     = flag.Int("topk", 10, "heavy hitters to print in the final summary")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("ntpwatch", *showVersion)
 
 	cfg := detect.DefaultConfig()
 	d := detect.New(cfg)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ntpddos/internal/attack"
+	"ntpddos/internal/buildinfo"
 	"ntpddos/internal/core"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/stats"
@@ -26,7 +27,9 @@ func main() {
 		probe = flag.String("probe", "", "the scanner's source IP (classified out of the victim set)")
 		date  = flag.String("date", "2014-01-10", "capture date (attack timing is derived relative to it)")
 	)
+	showVersion := buildinfo.Flag()
 	flag.Parse()
+	buildinfo.Handle("onpdump", *showVersion)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: onpdump [-probe IP] [-date YYYY-MM-DD] capture.pcap")
 		os.Exit(2)

@@ -1,0 +1,74 @@
+// Package buildinfo gives every cmd/ binary the same -version flag: one
+// helper reading the module's build identity from the Go build info embedded
+// in the binary, replacing per-CLI drift. Usage in a main:
+//
+//	showVersion := buildinfo.Flag()
+//	flag.Parse()
+//	buildinfo.Handle("ntpsim", *showVersion)
+package buildinfo
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// osExit is swapped out by tests.
+var osExit = os.Exit
+
+// Flag registers -version on the default flag set. Call before flag.Parse.
+func Flag() *bool {
+	return flag.Bool("version", false, "print version and build information, then exit")
+}
+
+// Handle prints the build identity to stdout and exits 0 when show is true;
+// otherwise it is a no-op. Call immediately after flag.Parse.
+func Handle(name string, show bool) {
+	if !show {
+		return
+	}
+	fmt.Println(String(name))
+	osExit(0)
+}
+
+// String renders "name version (vcs-rev date, goX.Y os/arch)". Every field
+// degrades gracefully: a binary built outside a VCS checkout still reports
+// its module version and toolchain.
+func String(name string) string {
+	version, rev, date, dirty := "devel", "", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.time":
+				date = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", name, version)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		fmt.Fprintf(&b, " (%s", rev)
+		if date != "" {
+			fmt.Fprintf(&b, " %s", date)
+		}
+		fmt.Fprintf(&b, ")")
+	}
+	fmt.Fprintf(&b, " %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package buildinfo
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesNameAndToolchain(t *testing.T) {
+	s := String("ntpserved")
+	if !strings.HasPrefix(s, "ntpserved ") {
+		t.Fatalf("String() = %q, want ntpserved prefix", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("String() = %q, want toolchain %q", s, runtime.Version())
+	}
+	if !strings.Contains(s, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Fatalf("String() = %q, want platform", s)
+	}
+}
+
+func TestHandleExitsOnlyWhenShown(t *testing.T) {
+	exited := -1
+	osExit = func(code int) { exited = code }
+	defer func() { osExit = os.Exit }()
+
+	Handle("x", false)
+	if exited != -1 {
+		t.Fatalf("Handle(false) exited with %d", exited)
+	}
+	Handle("x", true)
+	if exited != 0 {
+		t.Fatalf("Handle(true) exit code = %d, want 0", exited)
+	}
+}

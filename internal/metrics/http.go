@@ -11,6 +11,47 @@ import (
 // ContentType is the exposition format's HTTP content type (v0.0.4).
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// Handler returns the /metrics scrape handler for reg: GET/HEAD only,
+// exposition content type, deterministic rendering. It is the same handler
+// Server mounts; daemons that run their own API mux (cmd/ntpserved) attach
+// it there so one listener serves both the API and its instrumentation.
+func Handler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		reg.WriteText(w)
+	})
+}
+
+// Readiness is a /healthz readiness probe: 503 until Set(true), 200 "ok"
+// while ready, and 503 again when a draining daemon calls Set(false) before
+// finishing its in-flight work. The zero value is not ready.
+type Readiness struct {
+	ready atomic.Bool
+}
+
+// Set flips the readiness state.
+func (r *Readiness) Set(ready bool) { r.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (r *Readiness) Ready() bool { return r.ready.Load() }
+
+// ServeHTTP answers the probe.
+func (r *Readiness) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if !r.ready.Load() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
 // Server is an HTTP exporter serving /metrics and /healthz, following the
 // production exporter shape (collector registry behind a scrape endpoint
 // plus a readiness probe): /healthz answers 503 until SetReady(true) — a
@@ -20,7 +61,7 @@ type Server struct {
 	reg   *Registry
 	ln    net.Listener
 	srv   *http.Server
-	ready atomic.Bool
+	ready Readiness
 	done  chan struct{}
 }
 
@@ -34,8 +75,8 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	}
 	s := &Server{reg: reg, ln: ln, done: make(chan struct{})}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", Handler(reg))
+	mux.Handle("/healthz", &s.ready)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.done)
@@ -48,7 +89,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // SetReady flips the /healthz readiness state.
-func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+func (s *Server) SetReady(ready bool) { s.ready.Set(ready) }
 
 // Shutdown gracefully stops the exporter, waiting for in-flight scrapes up
 // to the context deadline.
@@ -59,25 +100,4 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	return err
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodGet && req.Method != http.MethodHead {
-		w.WriteHeader(http.StatusMethodNotAllowed)
-		return
-	}
-	w.Header().Set("Content-Type", ContentType)
-	if req.Method == http.MethodHead {
-		return
-	}
-	s.reg.WriteText(w)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	if !s.ready.Load() {
-		http.Error(w, "starting", http.StatusServiceUnavailable)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write([]byte("ok\n"))
 }

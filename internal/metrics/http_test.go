@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -144,6 +146,133 @@ func TestConcurrentScrapeWhileServing(t *testing.T) {
 	time.Sleep(50 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+}
+
+// TestServerReadinessLifecycle walks the full daemon readiness cycle the
+// serving layer depends on: 503 before the daemon declares itself up, 200
+// while serving, and 503 again the moment a drain begins — while /metrics
+// keeps answering so in-flight work stays observable through the drain.
+func TestServerReadinessLifecycle(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewGauge("draining", "").Set(0)
+	srv, err := metrics.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + srv.Addr()
+
+	// Phase 1: bound but not ready — the gap between socket and work loop.
+	if code, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-SetReady /healthz = %d, want 503", code)
+	}
+	// Phase 2: serving.
+	srv.SetReady(true)
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("ready /healthz = %d %q, want 200 ok", code, body)
+	}
+	// Phase 3: drain — readiness flips to 503 first so load balancers stop
+	// routing, but the scrape endpoint must keep working while in-flight
+	// jobs finish.
+	srv.SetReady(false)
+	if code, _ := get(t, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", code)
+	}
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "draining 0") {
+		t.Fatalf("/metrics during drain = %d %q, want 200 with samples", code, body)
+	}
+}
+
+// TestReadinessHandlerStandalone covers the Readiness probe detached from
+// Server — the shape cmd/ntpserved mounts on its own API mux.
+func TestReadinessHandlerStandalone(t *testing.T) {
+	var ready metrics.Readiness
+	if ready.Ready() {
+		t.Fatal("zero-value Readiness reports ready")
+	}
+	rec := httptest.NewRecorder()
+	ready.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("zero-value probe = %d, want 503", rec.Code)
+	}
+	ready.Set(true)
+	rec = httptest.NewRecorder()
+	ready.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("ready probe = %d %q, want 200 ok", rec.Code, rec.Body.String())
+	}
+	ready.Set(false)
+	rec = httptest.NewRecorder()
+	ready.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("drained probe = %d, want 503", rec.Code)
+	}
+}
+
+// TestShutdownWhileScraping races Shutdown against concurrent scrapers and
+// readiness flips: every request must either complete cleanly or fail with
+// a transport error — never a torn response — and the test is run under
+// -race in CI to pin the exporter's shutdown path data-race-free.
+func TestShutdownWhileScraping(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("spins_total", "")
+	srv, err := metrics.Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReady(true)
+	url := "http://" + srv.Addr()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				resp, err := http.Get(url + "/metrics")
+				if err != nil {
+					return // listener closed mid-drain: expected
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					continue // connection torn down by shutdown race
+				}
+				if _, perr := metricstest.Parse(string(body)); perr != nil {
+					t.Errorf("torn scrape during shutdown: %v", perr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			srv.SetReady(i%2 == 0)
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	srv.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown under scrape load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := http.Get(url + "/metrics"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
 }
 
 func TestServerGracefulShutdown(t *testing.T) {

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeSubmitToDone measures the full service round trip — HTTP
+// submit, worker pickup, sweep execution (instant synthetic runner), poll
+// to terminal, manifest download — isolating the daemon's own overhead
+// per job from simulation cost.
+func BenchmarkServeSubmitToDone(b *testing.B) {
+	d, err := New(Config{Runner: syntheticRunner, QueueDepth: 64, RetainJobs: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Start()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	body := `{"seeds":"1-2"}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit = %d", resp.StatusCode)
+		}
+		for {
+			r, err := client.Get(srv.URL + "/v1/jobs/" + st.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			r.Body.Close()
+			if st.State.Terminal() {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		if st.State != StateDone {
+			b.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		r, err := client.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, r.Body); err != nil {
+			b.Fatal(err)
+		}
+		r.Body.Close()
+	}
+}

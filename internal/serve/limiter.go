@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a per-client token-bucket rate limiter with bounded client
+// cardinality: each key accrues rate tokens per second up to burst, one
+// token per admitted request. Past maxClients distinct keys, new clients
+// share a single overflow bucket (mirroring internal/metrics' cardinality
+// bound) — a tenant fan-out can degrade fairness for strangers but can
+// never make the limiter itself grow without limit.
+type Limiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	max     int
+	buckets map[string]*bucket
+	// overflow is lazily created when the cardinality bound is hit.
+	overflow *bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// overflowKey is the shared identity assigned past the cardinality bound.
+const overflowKey = "other"
+
+// NewLimiter builds a limiter granting rate tokens/second with the given
+// burst. rate <= 0 disables limiting (Allow always admits). maxClients <= 0
+// uses a default bound of 1024.
+func NewLimiter(rate, burst float64, maxClients int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxClients <= 0 {
+		maxClients = 1024
+	}
+	return &Limiter{
+		rate:    rate,
+		burst:   burst,
+		max:     maxClients,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow consumes one token for key at time now. When the bucket is empty it
+// reports false along with how long until the next token accrues — the
+// Retry-After the admission layer surfaces.
+func (l *Limiter) Allow(key string, now time.Time) (bool, time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.lookup(key, now)
+	// Refill since last observation.
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Clients reports how many distinct buckets are live (the overflow bucket
+// counts once) — exported to the queue-depth gauge family.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// lookup returns the bucket for key, evicting idle full buckets when the
+// cardinality bound is hit before falling back to the shared overflow.
+// Caller holds l.mu.
+func (l *Limiter) lookup(key string, now time.Time) *bucket {
+	if b, ok := l.buckets[key]; ok {
+		return b
+	}
+	if len(l.buckets) >= l.max {
+		// A full bucket is indistinguishable from a fresh one: drop those
+		// first so transient clients don't pin the table forever.
+		for k, b := range l.buckets {
+			if k == overflowKey {
+				continue
+			}
+			refilled := math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+			if refilled >= l.burst {
+				delete(l.buckets, k)
+			}
+		}
+	}
+	if len(l.buckets) >= l.max {
+		if l.overflow == nil {
+			l.overflow = &bucket{tokens: l.burst, last: now}
+			l.buckets[overflowKey] = l.overflow
+		}
+		return l.overflow
+	}
+	b := &bucket{tokens: l.burst, last: now}
+	l.buckets[key] = b
+	return b
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 0, 0)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("anyone", now); !ok {
+			t.Fatal("disabled limiter refused a request")
+		}
+	}
+	var nilL *Limiter
+	if ok, _ := nilL.Allow("x", now); !ok {
+		t.Fatal("nil limiter refused a request")
+	}
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l := NewLimiter(1, 2, 16) // 1 token/s, burst 2
+	t0 := time.Unix(1000, 0)
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a", t0); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, retry := l.Allow("a", t0)
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry = %v, want (0, 1s]", retry)
+	}
+	// One token accrues after a second.
+	if ok, _ := l.Allow("a", t0.Add(time.Second)); !ok {
+		t.Fatal("refilled token refused")
+	}
+	// Refill never exceeds burst.
+	if ok, _ := l.Allow("a", t0.Add(time.Hour)); !ok {
+		t.Fatal("long-idle client refused")
+	}
+	if ok, _ := l.Allow("a", t0.Add(time.Hour)); !ok {
+		t.Fatal("second burst token refused")
+	}
+	if ok, _ := l.Allow("a", t0.Add(time.Hour)); ok {
+		t.Fatal("third token admitted: refill exceeded burst")
+	}
+}
+
+func TestLimiterClientsIsolated(t *testing.T) {
+	l := NewLimiter(0.001, 1, 16)
+	t0 := time.Unix(1000, 0)
+	if ok, _ := l.Allow("a", t0); !ok {
+		t.Fatal("a refused")
+	}
+	if ok, _ := l.Allow("a", t0); ok {
+		t.Fatal("a's second request admitted")
+	}
+	if ok, _ := l.Allow("b", t0); !ok {
+		t.Fatal("b throttled by a's bucket")
+	}
+}
+
+func TestLimiterCardinalityBound(t *testing.T) {
+	l := NewLimiter(1, 2, 2)
+	t0 := time.Unix(1000, 0)
+	l.Allow("a", t0)
+	l.Allow("b", t0)
+	// Past the bound, new clients share the overflow bucket.
+	if ok, _ := l.Allow("c", t0); !ok {
+		t.Fatal("overflow client refused its first token")
+	}
+	if got := l.Clients(); got != 3 { // a, b, overflow
+		t.Fatalf("Clients() = %d, want 3", got)
+	}
+	l.Allow("d", t0) // shares overflow: second of its 2 burst tokens
+	if ok, _ := l.Allow("e", t0); ok {
+		t.Fatal("overflow bucket admitted past its shared burst")
+	}
+	if got := l.Clients(); got != 3 {
+		t.Fatalf("Clients() after overflow sharing = %d, want 3", got)
+	}
+	// Once earlier clients idle back to full, they are evicted and a new
+	// client gets its own bucket again.
+	later := t0.Add(time.Minute)
+	if ok, _ := l.Allow("f", later); !ok {
+		t.Fatal("post-eviction client refused")
+	}
+	if got := l.Clients(); got != 2 { // overflow + f
+		t.Fatalf("Clients() after eviction = %d, want 2", got)
+	}
+}

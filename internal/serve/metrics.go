@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"ntpddos/internal/metrics"
+)
+
+// daemonMetrics is the serving layer's instrumentation. Every family is
+// nil-safe: with no Registry configured, all of this no-ops.
+type daemonMetrics struct {
+	jobsSubmitted *metrics.Counter
+	jobsByState   *metrics.GaugeVec
+	admission     *metrics.CounterVec
+	httpSeconds   *metrics.HistogramVec
+	clientReqs    *metrics.CounterVec
+	jobSeconds    *metrics.Histogram
+
+	// resolved per-state gauges (hot-path children held once).
+	stateGauges map[State]*metrics.Gauge
+}
+
+// newDaemonMetrics registers the ntpserved family on r (nil r yields
+// no-op metrics) and wires the queue-depth and client-count gauges to live
+// daemon state.
+func newDaemonMetrics(r *metrics.Registry, d *Daemon) *daemonMetrics {
+	m := &daemonMetrics{
+		jobsSubmitted: r.NewCounter("ntpserved_jobs_submitted_total",
+			"Jobs admitted past rate limiting and queue admission."),
+		jobsByState: r.NewGaugeVec("ntpserved_jobs",
+			"Jobs currently in each lifecycle state.", "state"),
+		admission: r.NewCounterVec("ntpserved_admission_rejected_total",
+			"Submissions refused, by reason (ratelimit, saturated, draining, invalid, toolarge).",
+			"reason"),
+		httpSeconds: r.NewHistogramVec("ntpserved_http_request_seconds",
+			"API request latency by endpoint.",
+			metrics.ExponentialBuckets(0.0001, 4, 10), "endpoint"),
+		clientReqs: r.NewCounterVec("ntpserved_client_requests_total",
+			"API requests by client identity (bounded cardinality).", "client"),
+		jobSeconds: r.NewHistogram("ntpserved_job_wall_seconds",
+			"Wall-clock seconds per finished job.",
+			metrics.ExponentialBuckets(0.5, 2, 12)),
+	}
+	if d != nil {
+		m.clientReqs.SetMaxCardinality(d.cfg.MaxClients)
+		r.NewGaugeFunc("ntpserved_queue_depth",
+			"Jobs admitted but not yet started (bounded FIFO occupancy).",
+			func() float64 { return float64(len(d.queue)) })
+		r.NewGaugeFunc("ntpserved_limiter_clients",
+			"Distinct client buckets live in the rate limiter.",
+			func() float64 { return float64(d.limiter.Clients()) })
+	}
+	// Resolve one gauge child per state up front so transitions are two
+	// atomic ops, and so every state appears in the exposition from the
+	// first scrape.
+	m.stateGauges = make(map[State]*metrics.Gauge, 5)
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		m.stateGauges[s] = m.jobsByState.With(string(s))
+	}
+	return m
+}
+
+// observeState tracks a job's state transition on the jobs-by-state gauge
+// family. Either side may be "" (job creation / store drop).
+func (m *daemonMetrics) observeState(old, new State) {
+	if g := m.stateGauges[old]; g != nil {
+		g.Dec()
+	}
+	if g := m.stateGauges[new]; g != nil {
+		g.Inc()
+	}
+}
+
+// observeRejection counts one refused submission.
+func (m *daemonMetrics) observeRejection(reason string) {
+	m.admission.With(reason).Inc()
+}

@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ntpddos/internal/sweep"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states. Terminal states are done, failed and canceled.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Progress is a job's completed/total sub-job count.
+type Progress struct {
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
+
+// JobStatus is the JSON view of one job, returned by the status, list and
+// watch endpoints and streamed during a watch.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Client    string     `json:"client,omitempty"`
+	Spec      JobSpec    `json:"spec"`
+	Progress  Progress   `json:"progress"`
+	Digest    string     `json:"digest,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// job is the daemon-internal job record. All fields are guarded by the
+// owning store's mutex except jobs and workers, which are immutable after
+// submission.
+type job struct {
+	id        string
+	client    string
+	spec      JobSpec
+	jobs      []sweep.Job
+	workers   int
+	state     State
+	completed int
+	manifest  *sweep.Manifest
+	digest    string
+	errMsg    string
+	cancel    context.CancelFunc
+	userStop  bool // cancel endpoint vs timeout/drain
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// store holds every live and recently finished job. It bounds memory by
+// evicting the oldest terminal jobs past the retain limit; queued and
+// running jobs are never evicted.
+type store struct {
+	mu     sync.Mutex
+	byID   map[string]*job
+	order  []*job
+	seq    int
+	retain int
+	// onState, when non-nil, observes every state transition (old may be ""
+	// for a new job) — the jobs-by-state gauge hook. Called with mu held;
+	// must not call back into the store.
+	onState func(old, new State)
+}
+
+func newStore(retain int) *store {
+	if retain <= 0 {
+		retain = 64
+	}
+	return &store{byID: make(map[string]*job), retain: retain}
+}
+
+// add registers a new queued job and returns it.
+func (s *store) add(client string, spec JobSpec, jobs []sweep.Job, workers int, now time.Time) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.seq),
+		client:    client,
+		spec:      spec,
+		jobs:      jobs,
+		workers:   workers,
+		state:     StateQueued,
+		submitted: now,
+	}
+	s.byID[j.id] = j
+	s.order = append(s.order, j)
+	if s.onState != nil {
+		s.onState("", StateQueued)
+	}
+	s.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs past the retain bound.
+func (s *store) evictLocked() {
+	terminal := 0
+	for _, j := range s.order {
+		if j.state.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.retain {
+		return
+	}
+	kept := s.order[:0]
+	for _, j := range s.order {
+		if terminal > s.retain && j.state.Terminal() {
+			terminal--
+			delete(s.byID, j.id)
+			if s.onState != nil {
+				s.onState(j.state, "") // evicted: leaves the gauge family
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+}
+
+// get returns the job by ID.
+func (s *store) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// begin transitions a queued job to running and installs its cancel func;
+// it returns false when the job was canceled while still queued.
+func (s *store) begin(j *job, cancel context.CancelFunc, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	s.transitionLocked(j, StateRunning)
+	j.started = now
+	j.cancel = cancel
+	j.completed = 0
+	return true
+}
+
+// progress records a completed sub-job count.
+func (s *store) progress(j *job, completed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.completed = completed
+}
+
+// finish moves a job to a terminal state with its (possibly partial)
+// manifest. The digest and per-record errors live inside the manifest.
+func (s *store) finish(j *job, state State, m *sweep.Manifest, errMsg string, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	s.transitionLocked(j, state)
+	j.manifest = m
+	j.errMsg = errMsg
+	j.finished = now
+	j.cancel = nil
+	if m != nil {
+		j.completed = len(m.Jobs)
+		j.digest = m.Digest()
+	}
+	s.evictLocked()
+}
+
+// drop removes a job that was never admitted (queue saturated): the store
+// registration is undone so refused submissions leave no residue.
+func (s *store) drop(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.onState != nil {
+		s.onState(j.state, "") // decrement only: the job never existed
+	}
+	delete(s.byID, j.id)
+	for i, o := range s.order {
+		if o == j {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// cancelQueued marks a still-queued job canceled with the given reason
+// (the drain path). No-op for any other state.
+func (s *store) cancelQueued(j *job, msg string, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	s.transitionLocked(j, StateCanceled)
+	j.errMsg = msg
+	j.finished = now
+	return true
+}
+
+// requestCancel asks a job to stop: a queued job is marked canceled
+// immediately (the worker will skip it); a running job has its context
+// canceled and reaches a terminal state when the sweep unwinds. Returns
+// false when the job is already terminal.
+func (s *store) requestCancel(j *job, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.userStop = true
+		s.transitionLocked(j, StateCanceled)
+		j.errMsg = "canceled while queued"
+		j.finished = now
+		return true
+	case StateRunning:
+		j.userStop = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return true
+	}
+	return false
+}
+
+// transitionLocked flips the state and notifies the gauge hook.
+func (s *store) transitionLocked(j *job, to State) {
+	if s.onState != nil {
+		s.onState(j.state, to)
+	}
+	j.state = to
+}
+
+// status snapshots a job's JSON view.
+func (s *store) status(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j)
+}
+
+func (s *store) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Client:    j.client,
+		Spec:      j.spec,
+		Progress:  Progress{Completed: j.completed, Total: len(j.jobs)},
+		Error:     j.errMsg,
+		Submitted: j.submitted,
+	}
+	st.Digest = j.digest
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// list snapshots every retained job, oldest first.
+func (s *store) list() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, j := range s.order {
+		out = append(out, s.statusLocked(j))
+	}
+	return out
+}
+
+// manifest returns the job's manifest (nil until one exists).
+func (s *store) manifest(j *job) *sweep.Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.manifest
+}
+
+// userStopped reports whether cancellation was requested via the API.
+func (s *store) userStopped(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.userStop
+}

@@ -1,0 +1,202 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ntpddos/internal/detect"
+	"ntpddos/internal/scenario"
+)
+
+// Spec is the declarative sweep description: seed ranges, a Scale ladder,
+// a window truncation, and the grid knobs (detector ablation, BCP38 spoofer
+// fractions, remediation-hazard multipliers, no-remediation counterfactual).
+// It is the JSON job-spec format the serving layer accepts over HTTP and
+// the surface cmd/ntpsweep's flags compile to, so a job submitted to
+// ntpserved expands into exactly the jobs the CLI would run.
+type Spec struct {
+	// Name prefixes every experiment cell in the manifest.
+	Name string `json:"name,omitempty"`
+	// Seeds lists replicate seeds: comma list and/or ranges ("1-16",
+	// "1,5,9-12"). Required.
+	Seeds string `json:"seeds"`
+	// Scale is the base population divisor (0 = the base config's value).
+	Scale int `json:"scale,omitempty"`
+	// Scales is the Scale ladder; when set it overrides Scale.
+	Scales []int `json:"scales,omitempty"`
+	// End truncates the window at this date (YYYY-MM-DD; empty = full).
+	End string `json:"end,omitempty"`
+	// Detect is the streaming-detector knob: "", "off", "on", or "both".
+	Detect string `json:"detect,omitempty"`
+	// NoRemediation is the counterfactual knob: "", "off", "on", or "both".
+	NoRemediation string `json:"noremediation,omitempty"`
+	// Spoof lists BCP38 spoofer fractions (0 meaning nobody spoofs).
+	Spoof []float64 `json:"spoof,omitempty"`
+	// Hazard lists remediation-hazard multipliers.
+	Hazard []float64 `json:"hazard,omitempty"`
+}
+
+// NumJobs returns how many jobs the spec expands to, without building
+// configs — the admission controller's cheap pre-flight check.
+func (s Spec) NumJobs() (int, error) {
+	seeds, err := ParseSeeds(s.Seeds)
+	if err != nil {
+		return 0, err
+	}
+	n := len(seeds)
+	if len(s.Scales) > 0 {
+		n *= len(s.Scales)
+	}
+	for _, knob := range []string{s.Detect, s.NoRemediation} {
+		if knob == "both" {
+			n *= 2
+		}
+	}
+	if len(s.Spoof) > 0 {
+		n *= len(s.Spoof)
+	}
+	if len(s.Hazard) > 0 {
+		n *= len(s.Hazard)
+	}
+	return n, nil
+}
+
+// Grid compiles the spec against a base configuration. The returned grid's
+// Jobs() are deterministic in spec order, which is what makes a daemon-run
+// sweep byte-identical to the same spec run in-process.
+func (s Spec) Grid(base scenario.Config) (Grid, error) {
+	g := Grid{Base: base, Name: s.Name}
+	var err error
+	if g.Seeds, err = ParseSeeds(s.Seeds); err != nil {
+		return g, err
+	}
+	if s.Scale != 0 {
+		if s.Scale < 0 {
+			return g, fmt.Errorf("bad scale %d: must be positive", s.Scale)
+		}
+		g.Base.Scale = s.Scale
+	}
+	for i, sc := range s.Scales {
+		if sc <= 0 {
+			return g, fmt.Errorf("bad scales[%d] %d: must be positive", i, sc)
+		}
+	}
+	g.Scales = s.Scales
+	if s.End != "" {
+		end, err := time.Parse("2006-01-02", s.End)
+		if err != nil {
+			return g, fmt.Errorf("bad end %q: want YYYY-MM-DD", s.End)
+		}
+		g.Base.End = end
+	}
+	detectVals, err := OnOffKnob(s.Detect, func(c *scenario.Config) {
+		dcfg := detect.DefaultConfig()
+		c.Detector = &dcfg
+	})
+	if err != nil {
+		return g, fmt.Errorf("bad detect %q: %w", s.Detect, err)
+	}
+	if detectVals != nil {
+		g.Knobs = append(g.Knobs, Knob{Name: "detect", Values: detectVals})
+	}
+	noremVals, err := OnOffKnob(s.NoRemediation, func(c *scenario.Config) {
+		c.NoRemediation = true
+	})
+	if err != nil {
+		return g, fmt.Errorf("bad noremediation %q: %w", s.NoRemediation, err)
+	}
+	if noremVals != nil {
+		g.Knobs = append(g.Knobs, Knob{Name: "noremediation", Values: noremVals})
+	}
+	if len(s.Spoof) > 0 {
+		g.Knobs = append(g.Knobs, Knob{Name: "spoof", Values: FloatKnob(s.Spoof,
+			func(c *scenario.Config, v float64) {
+				if v == 0 {
+					v = -1 // Config uses 0 for "default"; 0 in a spec means nobody spoofs
+				}
+				c.SpooferFraction = v
+			})})
+	}
+	if len(s.Hazard) > 0 {
+		g.Knobs = append(g.Knobs, Knob{Name: "hazard", Values: FloatKnob(s.Hazard,
+			func(c *scenario.Config, v float64) {
+				c.RemediationHazard = v
+			})})
+	}
+	return g, nil
+}
+
+// Jobs compiles the spec and expands it in one step.
+func (s Spec) Jobs(base scenario.Config) ([]Job, error) {
+	g, err := s.Grid(base)
+	if err != nil {
+		return nil, err
+	}
+	return g.Jobs(), nil
+}
+
+// ParseSeeds expands "1-16" / "1,5,9-12" into an ordered seed list.
+func ParseSeeds(spec string) ([]uint64, error) {
+	var seeds []uint64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+			b, err2 := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+			if err1 != nil || err2 != nil || b < a {
+				return nil, fmt.Errorf("bad seed range %q", part)
+			}
+			if b-a >= 10_000 {
+				return nil, fmt.Errorf("seed range %q too large", part)
+			}
+			for s := a; s <= b; s++ {
+				seeds = append(seeds, s)
+			}
+			continue
+		}
+		s, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", spec)
+	}
+	return seeds, nil
+}
+
+// OnOffKnob maps an off/on/both spec to knob values; "" and "off" return
+// nil (no grid dimension at all, keeping manifest cells clean).
+func OnOffKnob(spec string, set func(*scenario.Config)) ([]KnobValue, error) {
+	off := KnobValue{Label: "off", Apply: func(*scenario.Config) {}}
+	on := KnobValue{Label: "on", Apply: set}
+	switch spec {
+	case "", "off":
+		return nil, nil
+	case "on":
+		return []KnobValue{on}, nil
+	case "both":
+		return []KnobValue{off, on}, nil
+	}
+	return nil, fmt.Errorf("want off, on, or both")
+}
+
+// FloatKnob builds one knob value per float, labeled by its shortest
+// round-trip formatting.
+func FloatKnob(vals []float64, set func(*scenario.Config, float64)) []KnobValue {
+	out := make([]KnobValue, 0, len(vals))
+	for _, v := range vals {
+		v := v
+		out = append(out, KnobValue{
+			Label: strconv.FormatFloat(v, 'g', -1, 64),
+			Apply: func(c *scenario.Config) { set(c, v) },
+		})
+	}
+	return out
+}

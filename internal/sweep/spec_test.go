@@ -1,0 +1,208 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ntpddos/internal/scenario"
+)
+
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []uint64
+		err  bool
+	}{
+		{spec: "1", want: []uint64{1}},
+		{spec: "1-4", want: []uint64{1, 2, 3, 4}},
+		{spec: "1,5,9-11", want: []uint64{1, 5, 9, 10, 11}},
+		{spec: " 2 , 3 ", want: []uint64{2, 3}},
+		{spec: "", err: true},
+		{spec: "x", err: true},
+		{spec: "5-2", err: true},
+		{spec: "1-999999", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSeeds(c.spec)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseSeeds(%q) accepted, want error", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSeeds(%q): %v", c.spec, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseSeeds(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseSeeds(%q) = %v, want %v", c.spec, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestOnOffKnob(t *testing.T) {
+	set := func(c *scenario.Config) { c.NoRemediation = true }
+	if vals, err := OnOffKnob("off", set); err != nil || vals != nil {
+		t.Fatalf("off: %v, %v", vals, err)
+	}
+	vals, err := OnOffKnob("both", set)
+	if err != nil || len(vals) != 2 || vals[0].Label != "off" || vals[1].Label != "on" {
+		t.Fatalf("both: %v, %v", vals, err)
+	}
+	var cfg scenario.Config
+	vals[0].Apply(&cfg)
+	if cfg.NoRemediation {
+		t.Fatal("off value mutated the config")
+	}
+	vals[1].Apply(&cfg)
+	if !cfg.NoRemediation {
+		t.Fatal("on value did not mutate the config")
+	}
+	if _, err := OnOffKnob("maybe", set); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestFloatKnobCapturesEachValue(t *testing.T) {
+	vals := FloatKnob([]float64{0.1, 0.5}, func(c *scenario.Config, v float64) {
+		c.SpooferFraction = v
+	})
+	if len(vals) != 2 || vals[0].Label != "0.1" || vals[1].Label != "0.5" {
+		t.Fatalf("FloatKnob: %+v", vals)
+	}
+	var a, b scenario.Config
+	vals[0].Apply(&a)
+	vals[1].Apply(&b)
+	if a.SpooferFraction != 0.1 || b.SpooferFraction != 0.5 {
+		t.Fatalf("captured values wrong: %v / %v", a.SpooferFraction, b.SpooferFraction)
+	}
+}
+
+func TestSpecGridShapes(t *testing.T) {
+	base := scenario.TestConfig()
+	base.Scale = 2000
+
+	spec := Spec{
+		Name:   "sens",
+		Seeds:  "1-3",
+		Scales: []int{2000, 4000},
+		Detect: "both",
+		Spoof:  []float64{0.25, 0.5},
+	}
+	g, err := spec.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Jobs()
+	// 3 seeds x 2 scales x detect{off,on} x spoof{0.25,0.5} = 24 jobs.
+	if len(jobs) != 24 {
+		t.Fatalf("grid expanded %d jobs, want 24", len(jobs))
+	}
+	if n, err := spec.NumJobs(); err != nil || n != 24 {
+		t.Fatalf("NumJobs = %d, %v, want 24", n, err)
+	}
+	if jobs[0].ID != "sens/scale=2000/detect=off/spoof=0.25/seed=1" {
+		t.Fatalf("first job ID = %q", jobs[0].ID)
+	}
+	for _, j := range jobs {
+		switch j.Params["spoof"] {
+		case "0.25":
+			if j.Cfg.SpooferFraction != 0.25 {
+				t.Fatalf("job %s spoof = %v", j.ID, j.Cfg.SpooferFraction)
+			}
+		case "0.5":
+			if j.Cfg.SpooferFraction != 0.5 {
+				t.Fatalf("job %s spoof = %v", j.ID, j.Cfg.SpooferFraction)
+			}
+		default:
+			t.Fatalf("job %s missing spoof param", j.ID)
+		}
+		if (j.Params["detect"] == "on") != (j.Cfg.Detector != nil) {
+			t.Fatalf("job %s detector mismatch: %v", j.ID, j.Cfg.Detector)
+		}
+	}
+
+	// Spoof 0 means "nobody spoofs", which Config spells as negative.
+	g, err = Spec{Seeds: "1", Spoof: []float64{0}}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Jobs()[0].Cfg.SpooferFraction; got >= 0 {
+		t.Fatalf("spoof=0 mapped to %v, want negative (disable)", got)
+	}
+
+	// Hazard knob lands on RemediationHazard.
+	g, err = Spec{Seeds: "1", Hazard: []float64{0.5, 2}}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = g.Jobs()
+	if len(jobs) != 2 || jobs[0].Cfg.RemediationHazard != 0.5 || jobs[1].Cfg.RemediationHazard != 2 {
+		t.Fatalf("hazard jobs: %+v", jobs)
+	}
+
+	// Scale override and End truncation land on the base config.
+	g, err = Spec{Seeds: "1", Scale: 4000, End: "2014-01-17"}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := g.Jobs()[0]
+	if j.Cfg.Scale != 4000 {
+		t.Fatalf("scale override: %d", j.Cfg.Scale)
+	}
+	if want := time.Date(2014, 1, 17, 0, 0, 0, 0, time.UTC); !j.Cfg.End.Equal(want) {
+		t.Fatalf("end truncation: %v", j.Cfg.End)
+	}
+
+	// Errors surface for every malformed field.
+	for _, bad := range []Spec{
+		{Seeds: "zz"},
+		{Seeds: "1", Scale: -5},
+		{Seeds: "1", Scales: []int{0}},
+		{Seeds: "1", End: "not-a-date"},
+		{Seeds: "1", Detect: "sometimes"},
+		{Seeds: "1", NoRemediation: "maybe"},
+	} {
+		if _, err := bad.Grid(base); err == nil {
+			t.Fatalf("spec %+v accepted, want error", bad)
+		}
+	}
+}
+
+// TestSpecJSONRoundTrip pins the wire format the daemon accepts: the same
+// struct the CLI builds marshals to the documented JSON field names.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	in := `{"name":"fig3","seeds":"1-4","scale":4000,"end":"2014-01-17","detect":"both","spoof":[0,0.25],"hazard":[0.5,2]}`
+	var s Spec
+	if err := json.Unmarshal([]byte(in), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "fig3" || s.Seeds != "1-4" || s.Scale != 4000 ||
+		s.Detect != "both" || len(s.Spoof) != 2 || len(s.Hazard) != 2 {
+		t.Fatalf("decoded spec: %+v", s)
+	}
+	n, err := s.NumJobs()
+	if err != nil || n != 4*2*2*2 {
+		t.Fatalf("NumJobs = %d, %v, want 32", n, err)
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seeds != s.Seeds || back.Name != s.Name || back.Scale != s.Scale ||
+		len(back.Spoof) != len(s.Spoof) || len(back.Hazard) != len(s.Hazard) {
+		t.Fatalf("round trip drift: %+v vs %+v", back, s)
+	}
+}

@@ -19,6 +19,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -72,6 +73,11 @@ type Options struct {
 	// Completion order is nondeterministic; nothing logged here may feed
 	// back into the manifest.
 	Log func(format string, args ...any)
+	// Progress, when non-nil, is called from the collector goroutine after
+	// each job lands with the running completed count and the job total —
+	// the hook the serving layer uses to stream per-job progress. Calls are
+	// sequential; nothing observed here may feed back into the manifest.
+	Progress func(completed, total int)
 }
 
 // Metrics is the sweep engine's live instrumentation.
@@ -107,11 +113,26 @@ type done struct {
 	wall time.Duration
 }
 
+// ErrCanceled wraps the context error RunContext returns alongside a
+// partial manifest when the sweep is interrupted before every job ran.
+var ErrCanceled = errors.New("sweep canceled")
+
 // Run executes jobs on a worker pool and returns the completed manifest.
 // It fails fast on malformed input (nil runner, empty/duplicate job IDs);
 // per-job runner errors and panics are captured in the corresponding
 // JobRecord instead of aborting the sweep.
 func Run(jobs []Job, run Runner, opt Options) (*Manifest, error) {
+	return RunContext(context.Background(), jobs, run, opt)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, no further
+// queued job is dispatched — jobs already executing finish (a world cannot
+// be interrupted mid-timeline without losing determinism) and land in the
+// manifest as usual, while never-started jobs are recorded with a canceled
+// error. In that case the partial manifest is returned together with an
+// error wrapping both ErrCanceled and ctx's cause, so callers can persist
+// the partial result and still distinguish interruption from bad input.
+func RunContext(ctx context.Context, jobs []Job, run Runner, opt Options) (*Manifest, error) {
 	if run == nil {
 		return nil, errors.New("sweep: nil runner")
 	}
@@ -149,8 +170,19 @@ func Run(jobs []Job, run Runner, opt Options) (*Manifest, error) {
 		}()
 	}
 	go func() {
+		// The dispatcher is the single cancellation point: once ctx is done
+		// it stops feeding the queue, workers drain whatever they already
+		// picked up, and the collector below fills the never-dispatched
+		// slots. In-flight jobs are never killed — isolation means the only
+		// thing cancellation can skip is work not yet started.
 		for i := range jobs {
-			queue <- i
+			select {
+			case queue <- i:
+			case <-ctx.Done():
+			}
+			if ctx.Err() != nil {
+				break
+			}
 		}
 		close(queue)
 		wg.Wait()
@@ -179,8 +211,35 @@ func Run(jobs []Job, run Runner, opt Options) (*Manifest, error) {
 			opt.Log("[%d/%d] %s (%.1fs) %s", completed, len(jobs), d.rec.ID,
 				d.wall.Seconds(), status)
 		}
+		if opt.Progress != nil {
+			opt.Progress(completed, len(jobs))
+		}
+	}
+	// Fill the slots of jobs the dispatcher never handed out: they carry a
+	// canceled error so the partial manifest stays self-describing.
+	skipped := 0
+	if err := ctx.Err(); err != nil {
+		for i := range m.Jobs {
+			if m.Jobs[i].ID != "" {
+				continue
+			}
+			skipped++
+			m.Jobs[i] = JobRecord{
+				Index:      i,
+				ID:         jobs[i].ID,
+				Experiment: jobs[i].Experiment,
+				Params:     jobs[i].Params,
+				Seed:       jobs[i].Cfg.Seed,
+				Scale:      jobs[i].Cfg.Scale,
+				Err:        fmt.Sprintf("canceled before start: %v", err),
+			}
+		}
 	}
 	m.summarize()
+	if skipped > 0 {
+		return m, fmt.Errorf("%w: %d of %d jobs unrun: %w",
+			ErrCanceled, skipped, len(jobs), context.Cause(ctx))
+	}
 	return m, nil
 }
 

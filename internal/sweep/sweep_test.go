@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -256,6 +257,99 @@ func TestMetricsInstrumentation(t *testing.T) {
 	text := reg.RenderText()
 	if !strings.Contains(text, "ntpsweep_jobs_started_total") {
 		t.Fatalf("exposition missing sweep family:\n%s", text)
+	}
+}
+
+// TestRunContextCancelSkipsQueuedJobs pins the cancellation contract: jobs
+// already handed to a worker finish and land in the manifest; jobs the
+// dispatcher never handed out are recorded as canceled, and the error wraps
+// both ErrCanceled and the context cause.
+func TestRunContextCancelSkipsQueuedJobs(t *testing.T) {
+	jobs := fakeJobs(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan string, len(jobs))
+	release := make(chan struct{})
+	runner := func(j Job) (Result, error) {
+		started <- j.ID
+		<-release
+		return fakeRunner(j)
+	}
+	done := make(chan struct{})
+	var m *Manifest
+	var err error
+	go func() {
+		defer close(done)
+		m, err = RunContext(ctx, jobs, runner, Options{Workers: 2})
+	}()
+	// Wait until both workers hold a job, then cancel and release them.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	<-done
+
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	completed, skipped := 0, 0
+	for i, rec := range m.Jobs {
+		if rec.ID != jobs[i].ID {
+			t.Fatalf("record %d has ID %q, want %q (canceled slots must keep identity)", i, rec.ID, jobs[i].ID)
+		}
+		switch {
+		case rec.Digest != "":
+			completed++
+		case strings.Contains(rec.Err, "canceled before start"):
+			skipped++
+		default:
+			t.Fatalf("record %d neither completed nor canceled: %+v", i, rec)
+		}
+	}
+	if completed < 2 || skipped == 0 || completed+skipped != len(jobs) {
+		t.Fatalf("completed %d skipped %d of %d", completed, skipped, len(jobs))
+	}
+	// The partial manifest must still be canonical-encodable and summarized.
+	if len(m.CanonicalJSON()) == 0 {
+		t.Fatal("partial manifest not encodable")
+	}
+}
+
+// TestRunContextProgressHook pins the Progress callback: monotone completed
+// counts, constant total, one call per landed job.
+func TestRunContextProgressHook(t *testing.T) {
+	jobs := fakeJobs(6)
+	var calls []int
+	opt := Options{Workers: 3, Progress: func(completed, total int) {
+		if total != len(jobs) {
+			t.Errorf("progress total = %d, want %d", total, len(jobs))
+		}
+		calls = append(calls, completed)
+	}}
+	if _, err := Run(jobs, fakeRunner, opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(jobs) {
+		t.Fatalf("progress called %d times, want %d", len(calls), len(jobs))
+	}
+	for i, c := range calls {
+		if c != i+1 {
+			t.Fatalf("progress sequence %v not monotone", calls)
+		}
+	}
+}
+
+// TestRunContextCompletedBeforeCancel: a context canceled only after every
+// job was dispatched yields a complete manifest and a nil error.
+func TestRunContextCompletedBeforeCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := fakeJobs(4)
+	m, err := RunContext(ctx, jobs, fakeRunner, Options{Workers: 2})
+	cancel()
+	if err != nil {
+		t.Fatalf("uncanceled run returned %v", err)
+	}
+	if len(m.Failed()) != 0 {
+		t.Fatalf("failures: %v", m.Failed())
 	}
 }
 

@@ -1,0 +1,98 @@
+package ntpddos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ntpddos/internal/serve"
+)
+
+// TestServeManifestMatchesInProcess is the service-layer acceptance wall:
+// a sweep spec submitted to the daemon over real HTTP must yield manifest
+// bytes identical to the same spec executed directly on the engine, at
+// any daemon worker count. The daemon adds queueing, admission and
+// lifecycle — it must add zero entropy.
+func TestServeManifestMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	base := sweepTestConfig()
+	spec := SweepSpec{Seeds: "1-2"}
+	jobs, err := spec.Jobs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Sweep(jobs, SweepOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		d, err := serve.New(serve.Config{Base: base, Runner: SweepRunner, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Start()
+		srv := httptest.NewServer(d.Handler())
+
+		resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"seeds":"1-2"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("workers=%d: submit = %d", workers, resp.StatusCode)
+		}
+
+		deadline := time.Now().Add(3 * time.Minute)
+		for !st.State.Terminal() {
+			if time.Now().After(deadline) {
+				t.Fatalf("workers=%d: job %s never finished (%+v)", workers, st.ID, st)
+			}
+			time.Sleep(50 * time.Millisecond)
+			r, err := srv.Client().Get(srv.URL + "/v1/jobs/" + st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+		}
+		if st.State != serve.StateDone {
+			t.Fatalf("workers=%d: job ended %s: %s", workers, st.State, st.Error)
+		}
+		if st.Digest != want.Digest() {
+			t.Errorf("workers=%d: daemon digest %s != in-process %s", workers, st.Digest, want.Digest())
+		}
+
+		r, err := srv.Client().Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if !bytes.Equal(got, want.CanonicalJSON()) {
+			t.Errorf("workers=%d: HTTP manifest bytes differ from in-process canonical JSON", workers)
+		}
+
+		srv.Close()
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := d.Drain(dctx); err != nil {
+			t.Errorf("workers=%d: drain: %v", workers, err)
+		}
+		cancel()
+	}
+}

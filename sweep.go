@@ -1,6 +1,7 @@
 package ntpddos
 
 import (
+	"context"
 	"fmt"
 
 	"ntpddos/internal/detect"
@@ -24,7 +25,15 @@ type (
 	SweepKnob = sweep.Knob
 	// SweepKnobValue is one setting of a SweepKnob.
 	SweepKnobValue = sweep.KnobValue
+	// SweepSpec is the declarative sweep description (seed ranges, Scale
+	// ladders, grid knobs) shared by cmd/ntpsweep's flags and the JSON job
+	// specs cmd/ntpserved accepts over HTTP.
+	SweepSpec = sweep.Spec
 )
+
+// ErrSweepCanceled wraps the error SweepContext returns alongside a partial
+// manifest when its context is canceled before every job ran.
+var ErrSweepCanceled = sweep.ErrCanceled
 
 // SweepReplicates builds the common job list: one config, many seeds.
 func SweepReplicates(name string, base Config, seeds ...uint64) []SweepJob {
@@ -39,6 +48,16 @@ func SweepReplicates(name string, base Config, seeds ...uint64) []SweepJob {
 // bytes are likewise independent of SweepOptions.Workers.
 func Sweep(jobs []SweepJob, opt SweepOptions) (*SweepManifest, error) {
 	return sweep.Run(jobs, SweepRunner, opt)
+}
+
+// SweepContext is Sweep with cancellation: when ctx is canceled, jobs
+// already executing finish (their worlds stay deterministic) and land in
+// the manifest, never-started jobs are recorded with a canceled error, and
+// the partial manifest is returned together with an error wrapping
+// ErrSweepCanceled — the interrupted-sweep contract cmd/ntpsweep and the
+// ntpserved job timeouts both build on.
+func SweepContext(ctx context.Context, jobs []SweepJob, opt SweepOptions) (*SweepManifest, error) {
+	return sweep.RunContext(ctx, jobs, SweepRunner, opt)
 }
 
 // SweepRunner executes one sweep job end to end: full timeline, every
