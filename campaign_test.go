@@ -1,0 +1,119 @@
+package ntpddos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ntpddos/internal/detect"
+)
+
+// shapedJobs builds one sweep job per campaign shape over the
+// multi-protocol reflector plane, on the cheap truncated window the golden
+// corpus uses.
+func shapedJobs() []SweepJob {
+	jobs := goldenJobs()
+	return jobs[len(jobs)-3:] // pulse, carpet, multivector
+}
+
+// TestShapedSweepWorkersByteIdentical extends the determinism wall to the
+// shaped campaign schedules: pulse-wave, carpet-bombing, and multi-vector
+// worlds executed serially and on an oversubscribed pool must produce
+// byte-identical canonical manifests. The shaped paths fork private RNG
+// streams and schedule bursts through the same deterministic engine, so any
+// divergence here means a shaped code path leaked scheduler interleaving.
+func TestShapedSweepWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	jobs := shapedJobs()
+	serial, err := Sweep(jobs, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(jobs, SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.CanonicalJSON(), parallel.CanonicalJSON()) {
+		t.Fatalf("workers=1 and workers=8 shaped manifests differ:\n%s\nvs\n%s",
+			serial.CanonicalJSON(), parallel.CanonicalJSON())
+	}
+	for i, rec := range serial.Jobs {
+		if rec.Err != "" {
+			t.Fatalf("shaped job %s failed: %s", rec.ID, rec.Err)
+		}
+		if rec.Digest == "" || rec.Digest != parallel.Jobs[i].Digest {
+			t.Fatalf("job %s per-run digest differs: %q vs %q",
+				rec.ID, rec.Digest, parallel.Jobs[i].Digest)
+		}
+	}
+}
+
+// TestShapedCampaignDetectionQuality scores the pulse-aware detector
+// against shaped ground truth: with a large fraction of campaigns reshaped
+// into pulse-wave rotations or multi-protocol blends, the streaming victim
+// set must still match the launched-campaign ground truth at >= 0.9
+// precision and recall. Pulse-waves are the adversarial case — fixed-period
+// bursts are exactly the shape that flaps a naive idle-gap tracker.
+func TestShapedCampaignDetectionQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	shapes := []struct {
+		name  string
+		shape func(*Config)
+	}{
+		{"pulsewave", func(c *Config) { c.PulseWaveShare = 0.5 }},
+		{"multivector", func(c *Config) { c.MultiVectorShare = 0.5 }},
+	}
+	for _, sc := range shapes {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := QuickConfig()
+			cfg.Scale = 4000
+			cfg.NumASes = 200
+			cfg.FabricAttackDivisor = 8
+			cfg.End = time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+			cfg.ExtraVectors = []string{"dns-any", "ssdp", "chargen"}
+			sc.shape(&cfg)
+			dcfg := detect.DefaultConfig()
+			cfg.Detector = &dcfg
+
+			s := Run(cfg)
+			sum := s.Detection()
+			if sum == nil {
+				t.Fatal("detector enabled but no summary recorded")
+			}
+			truth := s.LaunchedVictimSet()
+			if truth.Len() == 0 {
+				t.Fatal("no campaigns launched; nothing to score against")
+			}
+			e := detect.Evaluate(sum.VictimSet(), truth)
+			if e.Precision < 0.9 || e.Recall < 0.9 {
+				t.Fatalf("%s: precision %.3f recall %.3f (TP %d / det %d / truth %d), want >= 0.9 both",
+					sc.name, e.Precision, e.Recall, e.TruePositives, e.Detected, e.Truth)
+			}
+
+			// The per-vector breakdown must show non-NTP lanes carrying
+			// traffic and the report table rendering them.
+			var nonNTP int64
+			for _, v := range sum.Vectors {
+				if v.Vector != "ntp" {
+					nonNTP += v.Responses
+				}
+			}
+			if nonNTP == 0 {
+				t.Fatalf("%s: no non-NTP reflections observed: %+v", sc.name, sum.Vectors)
+			}
+			tab := s.DetectVectorReport()
+			if tab.ID != "vectors" || len(tab.Rows) != 4 {
+				t.Fatalf("%s: vector report malformed: %+v", sc.name, tab)
+			}
+			if s.ByID("vectors") != nil {
+				t.Fatal("vector report leaked into All(); detector on/off digest identity would break")
+			}
+		})
+	}
+}

@@ -78,7 +78,7 @@ func main() {
 			"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 			"fig15", "fig16", "table5", "table6", "churn", "volume",
 			"remediation", "dnsoverlap", "ttl", "mega", "honeypot", "hpconv",
-			"detect", // outside All(); needs -detect to carry data
+			"detect", "vectors", // outside All(); need -detect to carry data
 		} {
 			fmt.Println(id)
 		}
@@ -99,10 +99,13 @@ func main() {
 	}
 	if *experiment != "" {
 		t := sim.ByID(*experiment)
-		if t == nil && *experiment == "detect" {
-			// The detect report lives outside All() (it depends on
-			// Config.Detector, which All() tables must not).
+		// The detect reports live outside All() (they depend on
+		// Config.Detector, which All() tables must not).
+		switch {
+		case t == nil && *experiment == "detect":
 			t = sim.DetectReport()
+		case t == nil && *experiment == "vectors":
+			t = sim.DetectVectorReport()
 		}
 		if t == nil {
 			fmt.Fprintf(os.Stderr, "ntpsim: unknown experiment %q (try -list)\n", *experiment)
@@ -116,5 +119,6 @@ func main() {
 	}
 	if *detector {
 		render(sim.DetectReport())
+		render(sim.DetectVectorReport())
 	}
 }

@@ -12,6 +12,8 @@
 //	ntpsweep -seeds 1-4 -scales 2000,4000       # Scale ladder
 //	ntpsweep -seeds 1-4 -spoof 0.1,0.25,0.5     # BCP38 sensitivity grid
 //	ntpsweep -seeds 1-4 -detect both            # detector on/off ablation
+//	ntpsweep -seeds 1-4 -vectors dns-any,ssdp,chargen -pulse 0.3 \
+//	         -carpet 0.2 -multi 0.2 -detect on  # shaped multi-protocol campaigns
 //	ntpsweep -seeds 1-4 -end 2014-02-01         # truncated window (fast)
 //	ntpsweep -seeds 1-4 -out manifest.json      # manifest to a file
 //	ntpsweep -seeds 1-4 -csv                    # per-job CSV on stdout
@@ -53,6 +55,10 @@ func main() {
 		noremSpec   = flag.String("noremediation", "off", "counterfactual no-remediation knob: off, on, or both")
 		spoofSpec   = flag.String("spoof", "", "comma-separated BCP38 spoofer fractions (e.g. 0.1,0.25,0.5)")
 		hazardSpec  = flag.String("hazard", "", "comma-separated remediation-hazard multipliers (e.g. 0.5,1,2)")
+		vectorSpec  = flag.String("vectors", "", "comma-separated extra reflector vectors to arm (dns-any,ssdp,chargen)")
+		pulseSpec   = flag.String("pulse", "", "comma-separated pulse-wave campaign shares in [0,1] (e.g. 0,0.3)")
+		carpetSpec  = flag.String("carpet", "", "comma-separated carpet-bombing campaign shares in [0,1]")
+		multiSpec   = flag.String("multi", "", "comma-separated multi-vector campaign shares in [0,1]")
 		csv         = flag.Bool("csv", false, "emit the per-job table as CSV instead of the JSON manifest")
 		out         = flag.String("out", "-", "manifest destination (- = stdout)")
 		quiet       = flag.Bool("q", false, "suppress per-job progress lines")
@@ -62,8 +68,11 @@ func main() {
 	flag.Parse()
 	buildinfo.Handle("ntpsweep", *showVersion)
 
-	spec, err := buildSpec(*name, *seedSpec, *scaleSpec, *endSpec, *detectSpec,
-		*noremSpec, *spoofSpec, *hazardSpec)
+	spec, err := buildSpec(specFlags{
+		name: *name, seeds: *seedSpec, scales: *scaleSpec, end: *endSpec,
+		detect: *detectSpec, norem: *noremSpec, spoof: *spoofSpec, hazard: *hazardSpec,
+		vectors: *vectorSpec, pulse: *pulseSpec, carpet: *carpetSpec, multi: *multiSpec,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -142,36 +151,56 @@ func fatalf(format string, args ...any) {
 	os.Exit(2)
 }
 
+// specFlags carries the raw flag strings the sweep spec compiles from.
+type specFlags struct {
+	name, seeds, scales, end, detect, norem string
+	spoof, hazard, pulse, carpet, multi     string
+	vectors                                 string
+}
+
 // buildSpec assembles the declarative sweep spec from the flag strings; the
 // same spec, as JSON, is what cmd/ntpserved accepts over HTTP.
-func buildSpec(name, seedSpec, scaleSpec, endSpec, detectSpec, noremSpec, spoofSpec, hazardSpec string) (sweep.Spec, error) {
+func buildSpec(f specFlags) (sweep.Spec, error) {
 	s := sweep.Spec{
-		Name:          name,
-		Seeds:         seedSpec,
-		End:           endSpec,
-		Detect:        detectSpec,
-		NoRemediation: noremSpec,
+		Name:          f.name,
+		Seeds:         f.seeds,
+		End:           f.end,
+		Detect:        f.detect,
+		NoRemediation: f.norem,
 	}
-	if scaleSpec != "" {
-		scales, err := parseInts(scaleSpec)
+	if f.scales != "" {
+		scales, err := parseInts(f.scales)
 		if err != nil {
 			return s, fmt.Errorf("bad -scales: %w", err)
 		}
 		s.Scales = scales
 	}
-	if spoofSpec != "" {
-		vals, err := parseFloats(spoofSpec)
-		if err != nil {
-			return s, fmt.Errorf("bad -spoof: %w", err)
+	if f.vectors != "" {
+		for _, part := range strings.Split(f.vectors, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				s.Vectors = append(s.Vectors, part)
+			}
 		}
-		s.Spoof = vals
 	}
-	if hazardSpec != "" {
-		vals, err := parseFloats(hazardSpec)
-		if err != nil {
-			return s, fmt.Errorf("bad -hazard: %w", err)
+	for _, fl := range []struct {
+		flag string
+		spec string
+		dst  *[]float64
+	}{
+		{"-spoof", f.spoof, &s.Spoof},
+		{"-hazard", f.hazard, &s.Hazard},
+		{"-pulse", f.pulse, &s.Pulse},
+		{"-carpet", f.carpet, &s.Carpet},
+		{"-multi", f.multi, &s.Multi},
+	} {
+		if fl.spec == "" {
+			continue
 		}
-		s.Hazard = vals
+		vals, err := parseFloats(fl.spec)
+		if err != nil {
+			return s, fmt.Errorf("bad %s: %w", fl.flag, err)
+		}
+		*fl.dst = vals
 	}
 	return s, nil
 }

@@ -34,7 +34,8 @@ func TestParseFloats(t *testing.T) {
 // expand exactly the same job list a JSON job spec with the same fields
 // yields, since that is what makes daemon-run sweeps comparable to CLI runs.
 func TestBuildSpecMatchesFlags(t *testing.T) {
-	spec, err := buildSpec("sens", "1-3", "2000,4000", "", "both", "off", "0.25,0.5", "")
+	spec, err := buildSpec(specFlags{name: "sens", seeds: "1-3", scales: "2000,4000",
+		detect: "both", norem: "off", spoof: "0.25,0.5"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,29 +54,51 @@ func TestBuildSpecMatchesFlags(t *testing.T) {
 		t.Fatalf("first job ID = %q", jobs[0].ID)
 	}
 
+	// Campaign flags land on the spec and survive Grid compilation.
+	spec, err = buildSpec(specFlags{seeds: "1", vectors: "dns-any, ssdp",
+		pulse: "0,0.3", carpet: "0.2", multi: "0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Vectors) != 2 || spec.Vectors[1] != "ssdp" ||
+		len(spec.Pulse) != 2 || len(spec.Carpet) != 1 || len(spec.Multi) != 1 {
+		t.Fatalf("campaign flags not compiled: %+v", spec)
+	}
+	g, err = spec.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Jobs()[1].Cfg; got.PulseWaveShare != 0.3 || len(got.ExtraVectors) != 2 {
+		t.Fatalf("campaign grid config: %+v", got)
+	}
+
 	// Errors surface with the flag name attached.
-	if _, err := buildSpec("", "1", "x", "", "off", "off", "", ""); err == nil {
-		t.Fatal("bad -scales accepted")
+	for _, bad := range []specFlags{
+		{seeds: "1", scales: "x"},
+		{seeds: "1", spoof: "zz"},
+		{seeds: "1", hazard: "zz"},
+		{seeds: "1", pulse: "zz"},
+		{seeds: "1", carpet: "zz"},
+		{seeds: "1", multi: "zz"},
+	} {
+		if _, err := buildSpec(bad); err == nil {
+			t.Fatalf("flags %+v accepted, want error", bad)
+		}
 	}
-	if _, err := buildSpec("", "1", "", "", "off", "off", "zz", ""); err == nil {
-		t.Fatal("bad -spoof accepted")
-	}
-	if _, err := buildSpec("", "1", "", "", "off", "off", "", "zz"); err == nil {
-		t.Fatal("bad -hazard accepted")
-	}
-	// Bad seeds and bad knob specs are caught at Grid compile time.
-	spec, err = buildSpec("", "zz", "", "", "off", "off", "", "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := spec.Grid(base); err == nil {
-		t.Fatal("bad seeds accepted")
-	}
-	spec, err = buildSpec("", "1", "", "", "sometimes", "off", "", "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := spec.Grid(base); err == nil {
-		t.Fatal("bad detect spec accepted")
+	// Bad seeds, knob specs, vectors, and share ranges are caught at Grid
+	// compile time (shared with the daemon path).
+	for _, bad := range []specFlags{
+		{seeds: "zz"},
+		{seeds: "1", detect: "sometimes"},
+		{seeds: "1", vectors: "smurf"},
+		{seeds: "1", pulse: "1.5"},
+	} {
+		spec, err := buildSpec(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := spec.Grid(base); err == nil {
+			t.Fatalf("spec from %+v accepted at compile, want error", bad)
+		}
 	}
 }

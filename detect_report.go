@@ -3,6 +3,7 @@ package ntpddos
 import (
 	"ntpddos/internal/detect"
 	"ntpddos/internal/netaddr"
+	"ntpddos/internal/reflector"
 	"ntpddos/internal/report"
 )
 
@@ -78,5 +79,29 @@ func (s *Simulation) DetectReport() *Table {
 		t.AddNote("top victim by reflected bytes: %s (%s ± %s)",
 			hh.Addr, report.SI(float64(hh.Bytes)), report.SI(float64(hh.Err)))
 	}
+	return t
+}
+
+// DetectVectorReport breaks the streaming plane down per reflection
+// protocol: request/response/byte tallies on each lane and how many alarmed
+// victims each lane dominates — the per-protocol victim classification the
+// multi-vector campaigns exercise. Outside All() for the same reason as
+// DetectReport: it depends on Config.Detector.
+func (s *Simulation) DetectVectorReport() *Table {
+	t := &Table{ID: "vectors", Title: "Streaming detection: per-protocol reflection breakdown",
+		Headers: []string{"vector", "requests", "responses", "reflected_bytes", "suppressed", "victims"}}
+	sum := s.res.Detection
+	if sum == nil {
+		t.AddNote("streaming detector disabled (Config.Detector = nil)")
+		return t
+	}
+	for _, v := range sum.Vectors {
+		t.AddRowf(v.Vector, v.Requests, v.Responses, v.ReflectedBytes, v.Suppressed, v.Victims)
+	}
+	for _, p := range reflector.All() {
+		t.AddNote("%s: published BAF %.1f×, service port %d, population TTL %d",
+			p.Vector, p.BAF, p.Port, p.ResponseTTL)
+	}
+	t.AddNote("victims are alarmed addresses attributed to the lane carrying most reflected packets")
 	return t
 }

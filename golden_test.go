@@ -17,11 +17,12 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.j
 
 const goldenPath = "testdata/golden_digests.json"
 
-// goldenJobs defines the pinned corpus: three small configurations chosen to
-// cover distinct code paths (baseline, resized honeypot fleet, and the
-// counterfactual knobs added for sweeps). Each runs a truncated window —
-// one monlist survey, a live honeypot event stream, and all 33 tables — in
-// a few seconds, so the corpus is cheap enough for every CI run.
+// goldenJobs defines the pinned corpus: six small configurations chosen to
+// cover distinct code paths (baseline, resized honeypot fleet, the
+// counterfactual knobs added for sweeps, and the three shaped campaign
+// schedules over the multi-protocol reflector plane). Each runs a truncated
+// window — one monlist survey, a live honeypot event stream, and all 33
+// tables — in a few seconds, so the corpus is cheap enough for every CI run.
 func goldenJobs() []SweepJob {
 	base := QuickConfig()
 	base.Scale = 4000
@@ -39,10 +40,28 @@ func goldenJobs() []SweepJob {
 	dcfg := detect.DefaultConfig()
 	knobs.Detector = &dcfg
 
+	pulse := base
+	pulse.Seed = 11
+	pulse.ExtraVectors = []string{"dns-any", "ssdp", "chargen"}
+	pulse.PulseWaveShare = 0.35
+
+	carpet := base
+	carpet.Seed = 13
+	carpet.ExtraVectors = []string{"dns-any", "chargen"}
+	carpet.CarpetBombShare = 0.4
+
+	multi := base
+	multi.Seed = 17
+	multi.ExtraVectors = []string{"dns-any", "ssdp", "chargen"}
+	multi.MultiVectorShare = 0.4
+
 	return []SweepJob{
 		{ID: "base/seed=1", Experiment: "base", Cfg: base},
 		{ID: "sensors24/seed=7", Experiment: "sensors24", Cfg: sensors},
 		{ID: "knobs/seed=3", Experiment: "knobs", Cfg: knobs},
+		{ID: "pulse/seed=11", Experiment: "pulse", Cfg: pulse},
+		{ID: "carpet/seed=13", Experiment: "carpet", Cfg: carpet},
+		{ID: "multivector/seed=17", Experiment: "multivector", Cfg: multi},
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
+	"ntpddos/internal/reflector"
 	"ntpddos/internal/rng"
 )
 
@@ -135,7 +136,11 @@ type Campaign struct {
 	Port     uint16
 	Start    time.Time
 	Duration time.Duration
-	// TriggerRate is spoofed monlist packets per second sent to EACH
+	// Vector selects the amplification protocol (see internal/reflector).
+	// The zero value is NTP mode-7 monlist — the paper's vector — so
+	// pre-abstraction campaign literals behave exactly as before.
+	Vector reflector.Vector
+	// TriggerRate is spoofed trigger packets per second sent to EACH
 	// amplifier in the set.
 	TriggerRate float64
 	// Amplifiers used, coordinated on the same victim.
@@ -183,17 +188,16 @@ func NewEngine(nw *netsim.Network, src *rng.Source, bots []netaddr.Addr) *Engine
 	return &Engine{Network: nw, Source: src, Bots: bots, TriggerInterval: 30 * time.Second}
 }
 
-// monlistProbe is the spoofed trigger payload: the padded ntpdc-style
-// request booters send.
-var monlistProbe = ntp.NewMonlistRequestPadded(ntp.ImplXNTPD, ntp.ReqMonGetList1)
-
-// Launch schedules a campaign. Triggers are spread over the campaign
-// duration in TriggerInterval batches; each batch sends one Rep-weighted
-// spoofed datagram per amplifier from a random bot.
+// Launch schedules a campaign. The campaign's vector resolves to a
+// reflector profile that supplies the trigger payload and service port;
+// triggers are spread over the campaign duration in TriggerInterval
+// batches; each batch sends one Rep-weighted spoofed datagram per
+// amplifier from a random bot.
 func (e *Engine) Launch(c Campaign) {
 	if len(c.Amplifiers) == 0 || len(e.Bots) == 0 {
 		return
 	}
+	prof := reflector.MustLookup(c.Vector)
 	if c.Port == 0 {
 		c.Port = SamplePort(e.Source)
 	}
@@ -202,8 +206,8 @@ func (e *Engine) Launch(c Campaign) {
 	// Priming runs against the attacker-supplied list only (and before
 	// reflector injection, so its Source draw sequence is independent of
 	// whether a honeypot fleet is deployed): honeypot tables are synthetic
-	// bait and need no warming.
-	if c.PrimeSources > 0 {
+	// bait and need no warming. Stateless vectors have nothing to warm.
+	if c.PrimeSources > 0 && prof.Stateful {
 		e.prime(c)
 	}
 
@@ -256,7 +260,7 @@ func (e *Engine) Launch(c Campaign) {
 		rep := perBatch
 		sched.At(at, func(now time.Time) {
 			for _, amp := range amps {
-				dg := newSpoofedTrigger(victim, port, amp, rep)
+				dg := newSpoofedTrigger(victim, port, amp, prof, rep)
 				if e.Network.SendFrom(bot, dg) {
 					e.TriggersSent += rep
 					if e.Metrics != nil {
@@ -310,10 +314,11 @@ func (e *Engine) prime(c Campaign) {
 	}
 }
 
-// newSpoofedTrigger builds the spoofed monlist request bound for amp that
-// claims to come from victim:port. TTL is the Windows default — bots.
-func newSpoofedTrigger(victim netaddr.Addr, port uint16, amp netaddr.Addr, rep int64) *packet.Datagram {
-	dg := packet.NewDatagram(victim, port, amp, ntp.Port, monlistProbe)
+// newSpoofedTrigger builds the spoofed trigger request bound for amp that
+// claims to come from victim:port, using the profile's payload and service
+// port. TTL is the Windows default — bots.
+func newSpoofedTrigger(victim netaddr.Addr, port uint16, amp netaddr.Addr, prof *reflector.Profile, rep int64) *packet.Datagram {
+	dg := packet.NewDatagram(victim, port, amp, prof.Port, prof.Request)
 	dg.IP.TTL = netsim.TTLWindows
 	dg.Rep = rep
 	return dg

@@ -1,0 +1,182 @@
+package attack
+
+import (
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/reflector"
+)
+
+// Campaign shapes beyond the paper's sustained single-victim floods. The
+// follow-on literature ("Distributed Pulse-Wave Simulator for DDoS Dataset
+// Generation", "The Age of DDoScovery") documents attackers alternating
+// short bursts across victims and vectors precisely to defeat rate-based
+// mitigation; carpet bombing spreads the same budget across a whole routed
+// block so no single address crosses a per-IP threshold. Each orchestrator
+// below expands into plain Campaigns through Launch, so every burst lands
+// in the OnLaunch ground-truth log the detection vantages are scored
+// against. The orchestrators themselves draw no randomness — rotation is
+// deterministic in the input — which keeps shaped schedules reproducible
+// independent of evaluation order.
+
+// AmplifierSets maps each vector to the reflector population a booter
+// harvested for it.
+type AmplifierSets map[reflector.Vector][]netaddr.Addr
+
+// PulseWave is a fixed-period burst schedule rotating across a victim list
+// and a vector set: burst i hits Victims[i%len(Victims)] through
+// Vectors[i%len(Vectors)]. Per victim, traffic arrives as periodic bursts
+// separated by len(Victims)×Period of silence — the shape that makes
+// sustained-flood EWMA trackers flap.
+type PulseWave struct {
+	Victims []netaddr.Addr
+	// Port is the victim-side destination port (0 draws from Table 4).
+	Port uint16
+	// Vectors rotates the amplification protocol burst by burst; empty
+	// means monlist only.
+	Vectors []reflector.Vector
+	// Amplifiers supplies each vector's reflector list.
+	Amplifiers AmplifierSets
+
+	Start time.Time
+	// Period separates consecutive burst starts; BurstLen is each burst's
+	// duration (BurstLen < Period leaves inter-burst silence).
+	Period   time.Duration
+	BurstLen time.Duration
+	// Bursts is the total burst count across the whole wave.
+	Bursts int
+	// TriggerRate is per-amplifier trigger packets/second within a burst.
+	TriggerRate float64
+	// PrimeSources primes stateful vectors before their first burst.
+	PrimeSources int
+}
+
+// LaunchPulseWave expands the wave into one Campaign per burst and returns
+// how many were launched.
+func (e *Engine) LaunchPulseWave(p PulseWave) int {
+	if len(p.Victims) == 0 || p.Bursts <= 0 || p.Period <= 0 || p.BurstLen <= 0 {
+		return 0
+	}
+	vectors := p.Vectors
+	if len(vectors) == 0 {
+		vectors = []reflector.Vector{reflector.Monlist}
+	}
+	launched := 0
+	primed := make(map[reflector.Vector]bool, len(vectors))
+	for i := 0; i < p.Bursts; i++ {
+		v := vectors[i%len(vectors)]
+		amps := p.Amplifiers[v]
+		if len(amps) == 0 {
+			continue
+		}
+		prime := 0
+		if !primed[v] {
+			// Warm each vector's reflector set once, before its first burst;
+			// Launch drops the request for stateless profiles.
+			prime = p.PrimeSources
+			primed[v] = true
+		}
+		e.Launch(Campaign{
+			Victim: p.Victims[i%len(p.Victims)], Port: p.Port,
+			Start:    p.Start.Add(time.Duration(i) * p.Period),
+			Duration: p.BurstLen, Vector: v,
+			TriggerRate: p.TriggerRate, Amplifiers: amps,
+			PrimeSources: prime,
+		})
+		launched++
+	}
+	return launched
+}
+
+// CarpetBomb sweeps a victim prefix (typically the target's /24): every
+// address in the block receives a short trigger slice in sequence, so the
+// aggregate flood persists while no single destination accumulates the
+// volume a per-IP mitigation threshold would catch.
+type CarpetBomb struct {
+	// Prefix is the swept block.
+	Prefix netaddr.Prefix
+	// Port is the victim-side destination port (0 draws from Table 4).
+	Port   uint16
+	Vector reflector.Vector
+	// Amplifiers is the reflector set, shared across the whole sweep.
+	Amplifiers []netaddr.Addr
+
+	Start time.Time
+	// SliceLen is each address's burst duration; slices run back to back.
+	SliceLen time.Duration
+	// TriggerRate is per-amplifier trigger packets/second within a slice.
+	TriggerRate float64
+	// MaxTargets caps the sweep (0 = the whole prefix, itself capped at a
+	// /24's 256 addresses to bound event counts on wide prefixes).
+	MaxTargets int
+}
+
+// LaunchCarpetBomb expands the sweep into one Campaign per address and
+// returns how many were launched.
+func (e *Engine) LaunchCarpetBomb(b CarpetBomb) int {
+	if b.SliceLen <= 0 || len(b.Amplifiers) == 0 {
+		return 0
+	}
+	n := int(b.Prefix.NumAddrs())
+	if n > 256 {
+		n = 256
+	}
+	if b.MaxTargets > 0 && n > b.MaxTargets {
+		n = b.MaxTargets
+	}
+	launched := 0
+	for i := 0; i < n; i++ {
+		e.Launch(Campaign{
+			Victim: b.Prefix.Nth(uint64(i)), Port: b.Port,
+			Start:    b.Start.Add(time.Duration(i) * b.SliceLen),
+			Duration: b.SliceLen, Vector: b.Vector,
+			TriggerRate: b.TriggerRate, Amplifiers: b.Amplifiers,
+		})
+		launched++
+	}
+	return launched
+}
+
+// MultiVector blends several amplification protocols against one victim
+// simultaneously — the booter "stresser package" shape, where mitigating
+// one protocol still leaves the victim saturated by the others.
+type MultiVector struct {
+	Victim netaddr.Addr
+	// Port is the victim-side destination port (0 draws from Table 4).
+	Port uint16
+	// Vectors lists the blended protocols; empty means monlist only.
+	Vectors []reflector.Vector
+	// Amplifiers supplies each vector's reflector list.
+	Amplifiers AmplifierSets
+
+	Start    time.Time
+	Duration time.Duration
+	// TriggerRate is per-amplifier trigger packets/second, per vector.
+	TriggerRate float64
+	// PrimeSources primes stateful vectors.
+	PrimeSources int
+}
+
+// LaunchMultiVector expands the blend into one Campaign per vector and
+// returns how many were launched.
+func (e *Engine) LaunchMultiVector(m MultiVector) int {
+	vectors := m.Vectors
+	if len(vectors) == 0 {
+		vectors = []reflector.Vector{reflector.Monlist}
+	}
+	launched := 0
+	for _, v := range vectors {
+		amps := m.Amplifiers[v]
+		if len(amps) == 0 {
+			continue
+		}
+		e.Launch(Campaign{
+			Victim: m.Victim, Port: m.Port,
+			Start: m.Start, Duration: m.Duration, Vector: v,
+			TriggerRate: m.TriggerRate, Amplifiers: amps,
+			PrimeSources: m.PrimeSources,
+		})
+		launched++
+	}
+	return launched
+}

@@ -1,0 +1,182 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/reflector"
+	"ntpddos/internal/rng"
+)
+
+// pulseHarness builds an engine with recorded launches and one reflector
+// population per vector.
+func pulseHarness(t *testing.T) (*Engine, *[]Campaign, AmplifierSets) {
+	t.Helper()
+	nw, _ := harness()
+	e := NewEngine(nw, rng.New(7), []netaddr.Addr{netaddr.MustParseAddr("192.0.2.1")})
+	launched := &[]Campaign{}
+	e.OnLaunch = func(c Campaign) { *launched = append(*launched, c) }
+	amps := AmplifierSets{
+		reflector.Monlist: {netaddr.MustParseAddr("10.0.0.10")},
+		reflector.DNSANY:  {netaddr.MustParseAddr("10.0.1.10")},
+		reflector.SSDP:    {netaddr.MustParseAddr("10.0.2.10")},
+	}
+	return e, launched, amps
+}
+
+func TestPulseWaveRotation(t *testing.T) {
+	e, launched, amps := pulseHarness(t)
+	victims := []netaddr.Addr{
+		netaddr.MustParseAddr("203.0.113.1"),
+		netaddr.MustParseAddr("203.0.113.2"),
+		netaddr.MustParseAddr("203.0.113.3"),
+	}
+	start := e.Network.Now().Add(time.Hour)
+	n := e.LaunchPulseWave(PulseWave{
+		Victims: victims, Port: 80,
+		Vectors:    []reflector.Vector{reflector.Monlist, reflector.DNSANY},
+		Amplifiers: amps,
+		Start:      start, Period: 5 * time.Minute, BurstLen: 30 * time.Second,
+		Bursts: 6, TriggerRate: 10, PrimeSources: 20,
+	})
+	if n != 6 || len(*launched) != 6 {
+		t.Fatalf("launched %d/%d bursts, want 6", n, len(*launched))
+	}
+	for i, c := range *launched {
+		if c.Victim != victims[i%3] {
+			t.Errorf("burst %d victim %s, want %s", i, c.Victim, victims[i%3])
+		}
+		wantVec := []reflector.Vector{reflector.Monlist, reflector.DNSANY}[i%2]
+		if c.Vector != wantVec {
+			t.Errorf("burst %d vector %q, want %q", i, c.Vector, wantVec)
+		}
+		if want := start.Add(time.Duration(i) * 5 * time.Minute); !c.Start.Equal(want) {
+			t.Errorf("burst %d start %v, want %v", i, c.Start, want)
+		}
+		if c.Duration != 30*time.Second {
+			t.Errorf("burst %d duration %v", i, c.Duration)
+		}
+	}
+	// Priming requested once per vector, on its first burst only; Launch
+	// itself then drops it for the stateless DNS profile.
+	var primes []int
+	for _, c := range *launched {
+		primes = append(primes, c.PrimeSources)
+	}
+	if primes[0] != 20 || primes[1] != 20 {
+		t.Fatalf("first bursts not primed: %v", primes)
+	}
+	for i := 2; i < 6; i++ {
+		if primes[i] != 0 {
+			t.Fatalf("repeat burst %d re-primed: %v", i, primes)
+		}
+	}
+}
+
+func TestPulseWaveSkipsVectorsWithoutAmplifiers(t *testing.T) {
+	e, launched, amps := pulseHarness(t)
+	delete(amps, reflector.DNSANY)
+	n := e.LaunchPulseWave(PulseWave{
+		Victims:    []netaddr.Addr{netaddr.MustParseAddr("203.0.113.1")},
+		Port:       80,
+		Vectors:    []reflector.Vector{reflector.Monlist, reflector.DNSANY},
+		Amplifiers: amps,
+		Start:      e.Network.Now(), Period: time.Minute, BurstLen: 10 * time.Second,
+		Bursts: 4, TriggerRate: 5,
+	})
+	if n != 2 || len(*launched) != 2 {
+		t.Fatalf("launched %d bursts, want 2 (monlist only)", n)
+	}
+	for _, c := range *launched {
+		if c.Vector != reflector.Monlist {
+			t.Fatalf("unexpected vector %q", c.Vector)
+		}
+	}
+}
+
+func TestCarpetBombSweepsPrefix(t *testing.T) {
+	e, launched, amps := pulseHarness(t)
+	victim := netaddr.MustParseAddr("203.0.113.77")
+	start := e.Network.Now().Add(time.Hour)
+	n := e.LaunchCarpetBomb(CarpetBomb{
+		Prefix: victim.Slash24(), Port: 80, Vector: reflector.SSDP,
+		Amplifiers: amps[reflector.SSDP],
+		Start:      start, SliceLen: 10 * time.Second, TriggerRate: 8,
+		MaxTargets: 32,
+	})
+	if n != 32 || len(*launched) != 32 {
+		t.Fatalf("launched %d slices, want 32", n)
+	}
+	block := victim.Slash24()
+	for i, c := range *launched {
+		if c.Victim != block.Nth(uint64(i)) {
+			t.Errorf("slice %d victim %s, want %s", i, c.Victim, block.Nth(uint64(i)))
+		}
+		if want := start.Add(time.Duration(i) * 10 * time.Second); !c.Start.Equal(want) {
+			t.Errorf("slice %d start %v, want %v", i, c.Start, want)
+		}
+		if c.Vector != reflector.SSDP {
+			t.Errorf("slice %d vector %q", i, c.Vector)
+		}
+	}
+	// Uncapped sweep covers the whole /24.
+	*launched = (*launched)[:0]
+	if n := e.LaunchCarpetBomb(CarpetBomb{
+		Prefix: block, Port: 80, Amplifiers: amps[reflector.Monlist],
+		Start: start, SliceLen: time.Second, TriggerRate: 8,
+	}); n != 256 {
+		t.Fatalf("uncapped sweep launched %d, want 256", n)
+	}
+}
+
+func TestMultiVectorBlend(t *testing.T) {
+	e, launched, amps := pulseHarness(t)
+	victim := netaddr.MustParseAddr("203.0.113.9")
+	start := e.Network.Now().Add(time.Hour)
+	n := e.LaunchMultiVector(MultiVector{
+		Victim: victim, Port: 25565,
+		Vectors:    []reflector.Vector{reflector.Monlist, reflector.DNSANY, reflector.SSDP},
+		Amplifiers: amps,
+		Start:      start, Duration: 5 * time.Minute, TriggerRate: 20,
+		PrimeSources: 10,
+	})
+	if n != 3 || len(*launched) != 3 {
+		t.Fatalf("launched %d campaigns, want 3", n)
+	}
+	seen := map[reflector.Vector]bool{}
+	for _, c := range *launched {
+		seen[c.Vector] = true
+		if c.Victim != victim || !c.Start.Equal(start) || c.Duration != 5*time.Minute {
+			t.Fatalf("blend campaign drifted: %+v", c)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("vectors launched: %v", seen)
+	}
+}
+
+// TestLaunchVectorPayloads pins that a campaign's trigger datagrams carry
+// the resolved profile's payload and service port.
+func TestLaunchVectorPayloads(t *testing.T) {
+	for _, v := range reflector.Vectors() {
+		nw, sched := harness()
+		e := NewEngine(nw, rng.New(9), []netaddr.Addr{netaddr.MustParseAddr("192.0.2.1")})
+		prof := reflector.MustLookup(v)
+		ampAddr := netaddr.MustParseAddr("10.9.9.9")
+		s := &sink{}
+		nw.Register(ampAddr, s)
+		e.Launch(Campaign{
+			Victim: netaddr.MustParseAddr("203.0.113.5"), Port: 80,
+			Start: nw.Now().Add(time.Minute), Duration: time.Minute,
+			Vector: v, TriggerRate: 10, Amplifiers: []netaddr.Addr{ampAddr},
+		})
+		sched.Drain()
+		if s.packets == 0 {
+			t.Fatalf("%s: no triggers delivered", v)
+		}
+		if s.ports[prof.Port] != s.packets {
+			t.Fatalf("%s: triggers on ports %v, want all on %d", v, s.ports, prof.Port)
+		}
+	}
+}

@@ -27,6 +27,7 @@
 package detect
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
+	"ntpddos/internal/reflector"
 	"ntpddos/internal/sketch"
 )
 
@@ -42,6 +44,34 @@ import (
 // TTL of 64 — the §7.2 scanner fingerprint (netsim.TTLLinux minus at least
 // one hop).
 const linuxTTLBand = 64
+
+// Lane is a per-protocol classification bucket. The tap classifies by
+// service port and a cheap payload sniff, one lane per reflector vector;
+// everything else is dropped after the port compares.
+type Lane uint8
+
+// The classification lanes, in presentation order.
+const (
+	LaneNTP Lane = iota
+	LaneDNS
+	LaneSSDP
+	LaneChargen
+	numLanes
+)
+
+// laneNames maps lanes to report labels.
+var laneNames = [numLanes]string{"ntp", "dns", "ssdp", "chargen"}
+
+// String returns the lane's report label.
+func (l Lane) String() string {
+	if int(l) < len(laneNames) {
+		return laneNames[l]
+	}
+	return "?"
+}
+
+// Lanes returns every lane in presentation order.
+func Lanes() []Lane { return []Lane{LaneNTP, LaneDNS, LaneSSDP, LaneChargen} }
 
 // Config parameterizes the detector. The zero value is not usable; start
 // from DefaultConfig.
@@ -94,8 +124,12 @@ type Alarm struct {
 	Victim netaddr.Addr
 	// Port is the victim-side destination port most recently reflected at.
 	Port uint16
+	// Vector labels the victim's dominant reflected protocol at alarm time
+	// ("ntp", "dns", "ssdp", "chargen").
+	Vector string
 	// At is the alarm time: the triggering packet's arrival for onsets, the
-	// last packet plus OffsetGap for offsets.
+	// last packet plus the (possibly pulse-extended) offset deadline for
+	// offsets.
 	At time.Time
 	// Count is the Rep-weighted reflected packet count so far.
 	Count int64
@@ -122,7 +156,43 @@ type victimState struct {
 	rate    float64 // EWMA packets/second, decayed to last
 	active  bool    // between onset and offset
 	alarmed bool    // ever had an onset
+
+	// laneRep tallies Rep-weighted reflected packets per protocol lane;
+	// the argmax is the victim's classification.
+	laneRep [numLanes]int64
+
+	// Pulse tracking: gapEWMA is the learned inter-burst silence (seconds),
+	// gapN how many such gaps were observed. A resumption after silence in
+	// (minPulseGap, pulseLearnCap×OffsetGap] reveals the wave's rotation
+	// period; the offset deadline stretches to ride out further gaps of
+	// that size instead of flapping once per burst.
+	gapEWMA float64
+	gapN    int
 }
+
+// dominantLane returns the lane carrying the most reflected packets
+// (ties break toward the earlier lane; NTP first).
+func (st *victimState) dominantLane() Lane {
+	best := LaneNTP
+	for l := Lane(1); l < numLanes; l++ {
+		if st.laneRep[l] > st.laneRep[best] {
+			best = l
+		}
+	}
+	return best
+}
+
+// Pulse-tracker shape constants. minPulseGap must exceed the coarsest
+// trigger batching interval a sustained campaign uses (20 minutes), so
+// batch spacing is never mistaken for a rotation period; pulseHold sizes
+// the deadline stretch per learned gap; pulseLearnCap bounds both what is
+// learnable and the stretched deadline (silence beyond a few OffsetGaps is
+// a separate attack, not a rotation).
+const (
+	minPulseGap   = 30 * time.Minute
+	pulseHold     = 2
+	pulseLearnCap = 4
+)
 
 // Detector is the streaming detection plane. It implements netsim.Tap; the
 // NetFlow and sensor-event paths feed the same state.
@@ -138,14 +208,25 @@ type Detector struct {
 	scanners netaddr.Set
 	alarms   []Alarm
 
-	packets    int64 // Rep-weighted NTP packets seen
-	responses  int64 // Rep-weighted mode 6/7 responses
-	requests   int64 // Rep-weighted mode 6/7 requests
-	reflected  int64 // on-wire bytes of responses
+	packets    int64 // Rep-weighted classified packets seen (all lanes)
+	responses  int64 // Rep-weighted reflected responses (all lanes)
+	requests   int64 // Rep-weighted trigger/probe requests (all lanes)
+	reflected  int64 // on-wire bytes of responses (all lanes)
 	suppressed int64 // response packets discarded as scanner backscatter
 	ingests    int64 // raw ingest operations, drives the prune cadence
 
+	// lanes is the per-protocol breakdown of the totals above.
+	lanes [numLanes]laneStats
+
 	m *Metrics
+}
+
+// laneStats is one protocol lane's stream accounting.
+type laneStats struct {
+	requests   int64
+	responses  int64
+	reflected  int64
+	suppressed int64
 }
 
 // pruneEvery is the ingest cadence of the bounded-memory sweep. Driven by
@@ -175,15 +256,81 @@ func (d *Detector) Config() Config { return d.cfg }
 // SetMetrics attaches (or, with nil, detaches) live instrumentation.
 func (d *Detector) SetMetrics(m *Metrics) { d.m = m }
 
-// Observe implements netsim.Tap: classify one fabric datagram. Only NTP
-// traffic (port 123 on either side) is parsed; everything else is dropped
-// after a port compare, keeping the hot path cheap on non-NTP streams.
-func (d *Detector) Observe(dg *packet.Datagram, now time.Time) {
-	if dg.UDP.SrcPort != ntp.Port && dg.UDP.DstPort != ntp.Port {
-		return
+// ssdpOK / ssdpMSearch are the SSDP payload fingerprints — the response
+// status line and the discovery method reflector hosts emit and answer.
+var (
+	ssdpOK      = []byte("HTTP/1.1 200")
+	ssdpMSearch = []byte("M-SEARCH")
+)
+
+// streamDir is a classified datagram's role in the reflection stream.
+type streamDir uint8
+
+const (
+	dirNone     streamDir = iota // counted, but neither a trigger nor a reflection
+	dirRequest                   // trigger/probe toward a reflector
+	dirResponse                  // reflected traffic toward a (claimed) victim
+)
+
+// classify assigns a fabric datagram to a protocol lane by service port plus
+// a cheap payload sniff. ok=false drops the packet after the port compares,
+// keeping the hot path cheap on unrelated streams; dirNone keeps the NTP
+// semantics where a parsed mode 6/7 packet on a non-service source port is
+// counted but ingested nowhere.
+func classify(dg *packet.Datagram) (lane Lane, dir streamDir, ok bool) {
+	src, dst := dg.UDP.SrcPort, dg.UDP.DstPort
+	switch {
+	case src == ntp.Port || dst == ntp.Port:
+		mode, mok := ntp.Mode(dg.Payload)
+		if !mok || (mode != ntp.ModeControl && mode != ntp.ModePrivate) {
+			return 0, 0, false
+		}
+		response := dg.Payload[0]&0x80 != 0 // mode 7 R bit
+		if mode == ntp.ModeControl {
+			response = len(dg.Payload) > 1 && dg.Payload[1]&0x80 != 0
+		}
+		switch {
+		case response && src == ntp.Port:
+			return LaneNTP, dirResponse, true
+		case !response && dst == ntp.Port:
+			return LaneNTP, dirRequest, true
+		}
+		return LaneNTP, dirNone, true
+	case src == reflector.DNSPort || dst == reflector.DNSPort:
+		if len(dg.Payload) < 12 {
+			return 0, 0, false
+		}
+		response := dg.Payload[2]&0x80 != 0 // QR bit
+		switch {
+		case response && src == reflector.DNSPort:
+			return LaneDNS, dirResponse, true
+		case !response && dst == reflector.DNSPort:
+			return LaneDNS, dirRequest, true
+		}
+		return LaneDNS, dirNone, true
+	case src == reflector.SSDPPort || dst == reflector.SSDPPort:
+		switch {
+		case src == reflector.SSDPPort && bytes.HasPrefix(dg.Payload, ssdpOK):
+			return LaneSSDP, dirResponse, true
+		case dst == reflector.SSDPPort && bytes.HasPrefix(dg.Payload, ssdpMSearch):
+			return LaneSSDP, dirRequest, true
+		}
+		return 0, 0, false
+	case src == reflector.ChargenPort:
+		return LaneChargen, dirResponse, true
+	case dst == reflector.ChargenPort:
+		return LaneChargen, dirRequest, true
 	}
-	mode, ok := ntp.Mode(dg.Payload)
-	if !ok || (mode != ntp.ModeControl && mode != ntp.ModePrivate) {
+	return 0, 0, false
+}
+
+// Observe implements netsim.Tap: classify one fabric datagram into a
+// protocol lane. NTP keeps its original mode 6/7 parse; DNS, SSDP, and
+// chargen reflections are recognized by service port plus a payload sniff.
+// Everything else is dropped after the port compares.
+func (d *Detector) Observe(dg *packet.Datagram, now time.Time) {
+	lane, dir, ok := classify(dg)
+	if !ok {
 		return
 	}
 	rep := dg.Rep
@@ -194,26 +341,23 @@ func (d *Detector) Observe(dg *packet.Datagram, now time.Time) {
 	if d.m != nil {
 		d.m.Packets.Add(rep)
 	}
-	response := dg.Payload[0]&0x80 != 0 // mode 7 R bit
-	if mode == ntp.ModeControl {
-		response = len(dg.Payload) > 1 && dg.Payload[1]&0x80 != 0
-	}
-	switch {
-	case response && dg.UDP.SrcPort == ntp.Port:
-		d.ingestResponse(dg.IP.Src, dg.IP.Dst, dg.UDP.DstPort,
+	switch dir {
+	case dirResponse:
+		d.ingestResponse(lane, dg.IP.Src, dg.IP.Dst, dg.UDP.DstPort,
 			int64(dg.OnWire())*rep, rep, now)
-	case !response && dg.UDP.DstPort == ntp.Port:
-		d.ingestRequest(dg.IP.Src, dg.IP.TTL, rep)
+	case dirRequest:
+		d.ingestRequest(lane, dg.IP.Src, dg.IP.TTL, rep)
 	}
 	d.maybePrune(now)
 }
 
-// ingestRequest handles a mode 6/7 query. A Linux-band TTL exposes a real
+// ingestRequest handles a trigger/probe. A Linux-band TTL exposes a real
 // prober (§7.2): record it as a scanner and suppress it from victim alarms.
 // Windows-band arrivals are the spoofed attack triggers; the claimed source
 // is the victim, which the response stream will confirm.
-func (d *Detector) ingestRequest(src netaddr.Addr, ttl uint8, rep int64) {
+func (d *Detector) ingestRequest(lane Lane, src netaddr.Addr, ttl uint8, rep int64) {
 	d.requests += rep
+	d.lanes[lane].requests += rep
 	if d.m != nil {
 		d.m.Requests.Add(rep)
 	}
@@ -229,27 +373,30 @@ func (d *Detector) ingestRequest(src netaddr.Addr, ttl uint8, rep int64) {
 	}
 }
 
-// ingestResponse handles a mode 6/7 response: amplifier → victim reflected
-// traffic, the substance of every alarm and heavy-hitter ranking.
-func (d *Detector) ingestResponse(amp, victim netaddr.Addr, victimPort uint16, bytes, rep int64, now time.Time) {
+// ingestResponse handles reflected amplifier → victim traffic, the
+// substance of every alarm and heavy-hitter ranking.
+func (d *Detector) ingestResponse(lane Lane, amp, victim netaddr.Addr, victimPort uint16, nbytes, rep int64, now time.Time) {
 	d.responses += rep
+	d.lanes[lane].responses += rep
 	if d.m != nil {
 		d.m.Responses.Add(rep)
-		d.m.ReflectedBytes.Add(bytes)
+		d.m.ReflectedBytes.Add(nbytes)
 	}
 	if d.scanners.Has(victim) {
 		// Backscatter to a known prober (the ONP scanner harvesting tables);
 		// counting it would make our own measurement the top "victim".
 		d.suppressed += rep
+		d.lanes[lane].suppressed += rep
 		if d.m != nil {
 			d.m.Suppressed.Add(rep)
 		}
 		return
 	}
-	d.reflected += bytes
-	d.victimBytes.Add(uint64(victim), float64(bytes), now)
-	d.victimTop.Add(uint64(victim), bytes)
-	d.ampTop.Add(uint64(amp), bytes)
+	d.reflected += nbytes
+	d.lanes[lane].reflected += nbytes
+	d.victimBytes.Add(uint64(victim), float64(nbytes), now)
+	d.victimTop.Add(uint64(victim), nbytes)
+	d.ampTop.Add(uint64(amp), nbytes)
 
 	st, ok := d.victims[victim]
 	if !ok {
@@ -264,18 +411,34 @@ func (d *Detector) ingestResponse(amp, victim netaddr.Addr, victimPort uint16, b
 	hl := d.cfg.RateHalfLife.Seconds()
 	if dt := now.Sub(st.last).Seconds(); dt > 0 {
 		st.rate *= math.Exp2(-dt / hl)
+		// Pulse learning: traffic resuming after a long silence on an
+		// already-alarmed victim reveals a burst rotation period. Learn it
+		// (EWMA, first observation seeds) so the offset deadline can stretch
+		// to ride the wave. Bounded below by minPulseGap so sustained-flood
+		// batching never registers, above by pulseLearnCap×OffsetGap so a
+		// genuinely separate later attack doesn't.
+		if st.alarmed && dt >= minPulseGap.Seconds() && dt <= (pulseLearnCap*d.cfg.OffsetGap).Seconds() {
+			if st.gapN == 0 {
+				st.gapEWMA = dt
+			} else {
+				st.gapEWMA += 0.5 * (dt - st.gapEWMA)
+			}
+			st.gapN++
+		}
 	}
 	st.rate += float64(rep) * math.Ln2 / hl
 	st.count += rep
-	st.bytes += bytes
+	st.bytes += nbytes
 	st.last = now
 	st.port = victimPort
+	st.laneRep[lane] += rep
 
 	if !st.active && d.qualifies(st, now) {
 		st.active = true
 		st.alarmed = true
 		d.alarms = append(d.alarms, Alarm{
-			Onset: true, Victim: victim, Port: st.port, At: now,
+			Onset: true, Victim: victim, Port: st.port,
+			Vector: st.dominantLane().String(), At: now,
 			Count: st.count, Rate: st.rate,
 		})
 		if d.m != nil {
@@ -300,8 +463,9 @@ func (d *Detector) qualifies(st *victimState, now time.Time) bool {
 }
 
 // maybePrune runs the bounded-memory sweep every pruneEvery ingests: active
-// victims silent past OffsetGap get their offset alarm; states idle past two
-// gaps are dropped entirely (alarmed addresses stay for the final report).
+// victims silent past their offset deadline get their offset alarm; states
+// idle past two gaps are dropped entirely (alarmed addresses stay for the
+// final report).
 func (d *Detector) maybePrune(now time.Time) {
 	d.ingests++
 	if d.ingests%pruneEvery != 0 {
@@ -310,17 +474,39 @@ func (d *Detector) maybePrune(now time.Time) {
 	d.sweep(now, false)
 }
 
+// offsetDeadline is the silence that ends a victim's active episode. For
+// sustained floods it is the configured OffsetGap; once inter-burst gaps
+// have been learned, it stretches to pulseHold× the gap EWMA (capped at
+// pulseLearnCap×OffsetGap) so a pulse wave reads as one episode instead of
+// one onset/offset flap per burst. The first long-gap cycle still flaps
+// once — the gap is only observable after traffic resumes — after which the
+// tracker converges.
+func (d *Detector) offsetDeadline(st *victimState) time.Duration {
+	deadline := d.cfg.OffsetGap
+	if st.gapN > 0 {
+		if learned := time.Duration(pulseHold * st.gapEWMA * float64(time.Second)); learned > deadline {
+			deadline = learned
+		}
+		if max := pulseLearnCap * d.cfg.OffsetGap; deadline > max {
+			deadline = max
+		}
+	}
+	return deadline
+}
+
 func (d *Detector) sweep(now time.Time, final bool) {
 	for addr, st := range d.victims {
 		idle := now.Sub(st.last)
-		if st.active && (idle >= d.cfg.OffsetGap || final) {
+		deadline := d.offsetDeadline(st)
+		if st.active && (idle >= deadline || final) {
 			st.active = false
-			at := st.last.Add(d.cfg.OffsetGap)
-			if final && idle < d.cfg.OffsetGap {
+			at := st.last.Add(deadline)
+			if final && idle < deadline {
 				at = now
 			}
 			d.alarms = append(d.alarms, Alarm{
-				Victim: addr, Port: st.port, At: at,
+				Victim: addr, Port: st.port,
+				Vector: st.dominantLane().String(), At: at,
 				Count: st.count, Rate: st.rate,
 			})
 			if d.m != nil {

@@ -7,6 +7,7 @@ import (
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netflow"
 	"ntpddos/internal/ntp"
+	"ntpddos/internal/reflector"
 )
 
 // The non-tap ingestion paths: a real deployment rarely sits on a full
@@ -14,13 +15,30 @@ import (
 // sensor feeds all fold into the same per-victim state the tap maintains,
 // so a collector can mix vantages freely.
 
-// minReflectedPacketSize is the flow-path stand-in for the mode check the
-// tap performs on payload bytes: NetFlow v5 carries no payload, so port-123
-// response flows are classified by average packet size. Monlist fragments
-// run ~500 bytes of UDP payload and readvar fragments similarly, while
-// honest mode 4 time responses are 48 bytes — a 200-byte threshold cleanly
-// separates amplification backscatter from time service.
+// minReflectedPacketSize is the flow-path stand-in for the payload sniff the
+// tap performs: NetFlow v5 carries no payload, so service-port response
+// flows are classified by average packet size. Monlist fragments run ~500
+// bytes of UDP payload, DNS-ANY answers kilobytes, SSDP service responses
+// ~300 bytes, and chargen replies ~500 — while honest mode 4 time responses
+// are 48 bytes and ordinary DNS answers under ~100. A 200-byte threshold
+// cleanly separates amplification backscatter from legitimate service.
 const minReflectedPacketSize = 200
+
+// flowLane maps a response-direction flow's source port onto its protocol
+// lane; ok=false flows are not reflection candidates.
+func flowLane(srcPort uint16) (Lane, bool) {
+	switch srcPort {
+	case ntp.Port:
+		return LaneNTP, true
+	case reflector.DNSPort:
+		return LaneDNS, true
+	case reflector.SSDPPort:
+		return LaneSSDP, true
+	case reflector.ChargenPort:
+		return LaneChargen, true
+	}
+	return 0, false
+}
 
 // IngestExport decodes one NetFlow v5 export datagram and folds every
 // record into the detector. Flow times are reconstructed from the export
@@ -40,14 +58,16 @@ func (d *Detector) IngestExport(data []byte) error {
 }
 
 // IngestFlow folds one v5 flow record, whose last packet was seen at
-// flowEnd. Only the NTP response direction matters here: request flows
-// carry no TTL in v5, so scanner unmasking is left to the tap/pcap path.
+// flowEnd. Only the reflected response direction matters here — any of the
+// catalogued service ports, not just 123: request flows carry no TTL in v5,
+// so scanner unmasking is left to the tap/pcap path.
 func (d *Detector) IngestFlow(r netflow.Record, flowEnd time.Time) {
-	if r.SrcPort != ntp.Port || r.Packets == 0 {
+	lane, ok := flowLane(r.SrcPort)
+	if !ok || r.Packets == 0 {
 		return
 	}
 	if r.Octets/r.Packets < minReflectedPacketSize {
-		return // time-service chatter, not amplification
+		return // legitimate-service chatter, not amplification
 	}
 	d.packets += int64(r.Packets)
 	if d.m != nil {
@@ -56,7 +76,7 @@ func (d *Detector) IngestFlow(r netflow.Record, flowEnd time.Time) {
 	// Octets are IP-layer; OnWire accounting adds the Ethernet overhead the
 	// BAF denominators use (≈38 bytes per packet at these sizes).
 	bytes := int64(r.Octets) + 38*int64(r.Packets)
-	d.ingestResponse(r.SrcAddr, r.DstAddr, r.DstPort, bytes, int64(r.Packets), flowEnd)
+	d.ingestResponse(lane, r.SrcAddr, r.DstAddr, r.DstPort, bytes, int64(r.Packets), flowEnd)
 	d.maybePrune(flowEnd)
 }
 
@@ -89,7 +109,8 @@ func (d *Detector) IngestMonEntry(amp netaddr.Addr, e ntp.MonEntry, now time.Tim
 		st.active = true
 		st.alarmed = true
 		d.alarms = append(d.alarms, Alarm{
-			Onset: true, Victim: e.Addr, Port: e.Port, At: st.last, Count: st.count,
+			Onset: true, Victim: e.Addr, Port: e.Port,
+			Vector: st.dominantLane().String(), At: st.last, Count: st.count,
 		})
 		if d.m != nil {
 			d.m.Onsets.Inc()
@@ -121,7 +142,8 @@ func (d *Detector) IngestSensorEvent(victim netaddr.Addr, port uint16, first, la
 		st.active = true
 		st.alarmed = true
 		d.alarms = append(d.alarms, Alarm{
-			Onset: true, Victim: victim, Port: port, At: last, Count: st.count,
+			Onset: true, Victim: victim, Port: port,
+			Vector: st.dominantLane().String(), At: last, Count: st.count,
 		})
 		if d.m != nil {
 			d.m.Onsets.Inc()

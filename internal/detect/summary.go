@@ -6,6 +6,20 @@ import (
 	"ntpddos/internal/netaddr"
 )
 
+// VectorSummary is one protocol lane's share of the stream: the per-vector
+// breakdown a mitigation team needs to pick which service to filter.
+type VectorSummary struct {
+	// Vector is the lane label ("ntp", "dns", "ssdp", "chargen").
+	Vector string
+	// Rep-weighted stream accounting, as in Summary but lane-scoped.
+	Requests       int64
+	Responses      int64
+	ReflectedBytes int64
+	Suppressed     int64
+	// Victims counts alarmed victims whose dominant lane this is.
+	Victims int
+}
+
 // Summary is the scenario-end snapshot of the streaming plane — everything
 // the cross-vantage report consumes, with deterministic ordering throughout.
 type Summary struct {
@@ -15,6 +29,10 @@ type Summary struct {
 	Responses      int64
 	ReflectedBytes int64
 	Suppressed     int64
+
+	// Vectors is the per-protocol breakdown, in lane presentation order
+	// (ntp, dns, ssdp, chargen), lanes with no traffic included.
+	Vectors []VectorSummary
 
 	// Scanner vantage: exact suppression-set size versus the HLL estimate
 	// (their agreement is itself a live check of the sketch).
@@ -35,12 +53,28 @@ type Summary struct {
 // victims) and snapshots the detector's answers as of virtual time now.
 func (d *Detector) Summarize(now time.Time) *Summary {
 	d.Flush(now)
+	vectors := make([]VectorSummary, numLanes)
+	for _, l := range Lanes() {
+		vectors[l] = VectorSummary{
+			Vector:         l.String(),
+			Requests:       d.lanes[l].requests,
+			Responses:      d.lanes[l].responses,
+			ReflectedBytes: d.lanes[l].reflected,
+			Suppressed:     d.lanes[l].suppressed,
+		}
+	}
+	for addr, st := range d.victims {
+		if st.alarmed && !d.scanners.Has(addr) {
+			vectors[st.dominantLane()].Victims++
+		}
+	}
 	return &Summary{
 		Packets:         d.packets,
 		Requests:        d.requests,
 		Responses:       d.responses,
 		ReflectedBytes:  d.reflected,
 		Suppressed:      d.suppressed,
+		Vectors:         vectors,
 		ScannersMarked:  d.scanners.Len(),
 		ScannerEstimate: d.scannerHLL.Estimate(),
 		Alarms:          d.Alarms(),

@@ -16,12 +16,15 @@
 package honeypot
 
 import (
+	"bytes"
 	"time"
 
+	"ntpddos/internal/dns"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/packet"
+	"ntpddos/internal/reflector"
 	"ntpddos/internal/rng"
 )
 
@@ -195,10 +198,24 @@ func newSensor(f *Fleet, idx int, addr netaddr.Addr, src *rng.Source) *Sensor {
 	return s
 }
 
-// HandlePacket implements netsim.Host: answer like a vulnerable ntpd, and
-// feed every mode 7 request into the fleet's event detector.
+// HandlePacket implements netsim.Host. Like the real AmpPot, each sensor
+// emulates several abusable UDP services on one address: NTP answers like a
+// vulnerable ntpd, and the DNS/SSDP/chargen ports answer just enough to stay
+// in harvested reflector lists. Every trigger feeds the fleet's (protocol-
+// agnostic) event detector; every reply is clamped by the same RRL budget.
 func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
-	if dg.UDP.DstPort != ntp.Port {
+	switch dg.UDP.DstPort {
+	case reflector.DNSPort:
+		s.handleDNS(nw, dg, now)
+		return
+	case reflector.SSDPPort:
+		s.handleSSDP(nw, dg, now)
+		return
+	case reflector.ChargenPort:
+		s.handleChargen(nw, dg, now)
+		return
+	case ntp.Port:
+	default:
 		return
 	}
 	mode, ok := ntp.Mode(dg.Payload)
@@ -226,7 +243,7 @@ func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.
 		// §3.1 blind spot): staying responsive to every prober is what keeps
 		// them in harvested lists.
 		for _, frag := range ntp.BuildMonlistResponse(s.mru, m.Implementation, m.Request) {
-			s.reply(nw, dg, frag, rep, now)
+			s.reply(nw, dg, ntp.Port, frag, rep, now)
 		}
 	case ntp.ModeControl:
 		m, err := ntp.DecodeMode6(dg.Payload)
@@ -238,7 +255,7 @@ func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.
 			System: "Linux/2.6.32", Stratum: 3, RefID: "10.0.0.1",
 		}
 		for _, frag := range ntp.BuildReadVarResponse(m.Sequence, vars.Encode()) {
-			s.reply(nw, dg, frag, rep, now)
+			s.reply(nw, dg, ntp.Port, frag, rep, now)
 		}
 	case ntp.ModeClient:
 		// Spoofed mode-3 priming (or a stray honest client): answer, and
@@ -249,13 +266,70 @@ func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.
 		}
 		s.PrimingSeen += rep
 		rp := ntp.NewServerReply(&req, 3, now)
-		s.reply(nw, dg, rp.AppendTo(nil), rep, now)
+		s.reply(nw, dg, ntp.Port, rp.AppendTo(nil), rep, now)
 	}
+}
+
+// handleDNS answers recursive queries with one modest TXT record — enough
+// for a scanner to mark the sensor as an open resolver, far too little to
+// amplify — and logs the trigger.
+func (s *Sensor) handleDNS(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	q, err := dns.Decode(dg.Payload)
+	if err != nil || q.Response {
+		return
+	}
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	s.QueriesSeen += rep
+	s.fleet.Detector.Ingest(s.Index, dg.IP.Src, dg.UDP.SrcPort, dg.IP.TTL, rep, now)
+	resp := &dns.Message{ID: q.ID, Response: true, Recursion: q.Recursion, RecAvail: true,
+		Question: q.Question,
+		Answers: []dns.Record{{Name: q.Question.Name, Type: dns.TypeTXT, Class: 1,
+			TTL: 3600, Data: []byte("honeypot")}}}
+	raw, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	s.reply(nw, dg, reflector.DNSPort, raw, rep, now)
+}
+
+// ssdpMSearch and ssdpBait are the discovery fingerprint and the minimal
+// single-service answer that keeps a sensor in SSDP reflector lists.
+var (
+	ssdpMSearch = []byte("M-SEARCH")
+	ssdpBait    = []byte("HTTP/1.1 200 OK\r\nST: upnp:rootdevice\r\nUSN: uuid:amppot-sensor\r\n\r\n")
+)
+
+// handleSSDP answers M-SEARCH discovery with a single service line.
+func (s *Sensor) handleSSDP(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	if !bytes.HasPrefix(dg.Payload, ssdpMSearch) {
+		return
+	}
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	s.QueriesSeen += rep
+	s.fleet.Detector.Ingest(s.Index, dg.IP.Src, dg.UDP.SrcPort, dg.IP.TTL, rep, now)
+	s.reply(nw, dg, reflector.SSDPPort, ssdpBait, rep, now)
+}
+
+// handleChargen answers any datagram with a short character stream.
+func (s *Sensor) handleChargen(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	rep := dg.Rep
+	if rep <= 0 {
+		rep = 1
+	}
+	s.QueriesSeen += rep
+	s.fleet.Detector.Ingest(s.Index, dg.IP.Src, dg.UDP.SrcPort, dg.IP.TTL, rep, now)
+	s.reply(nw, dg, reflector.ChargenPort, reflector.ChargenPayload(128), rep, now)
 }
 
 // reply sends one response fragment back to the (possibly spoofed) source,
 // clamped to the per-source RRL budget.
-func (s *Sensor) reply(nw *netsim.Network, trigger *packet.Datagram, payload []byte, rep int64, now time.Time) {
+func (s *Sensor) reply(nw *netsim.Network, trigger *packet.Datagram, srcPort uint16, payload []byte, rep int64, now time.Time) {
 	grant := s.grant(trigger.IP.Src, rep, now)
 	m := s.fleet.m
 	if grant <= 0 {
@@ -271,7 +345,7 @@ func (s *Sensor) reply(nw *netsim.Network, trigger *packet.Datagram, payload []b
 			m.RepliesSuppressed.Add(rep - grant)
 		}
 	}
-	out := packet.NewDatagram(s.Addr, ntp.Port, trigger.IP.Src, trigger.UDP.SrcPort, payload)
+	out := packet.NewDatagram(s.Addr, srcPort, trigger.IP.Src, trigger.UDP.SrcPort, payload)
 	out.IP.TTL = netsim.TTLLinux // sensors run on Linux boxes
 	out.Rep = grant
 	if nw.SendFrom(s.Addr, out) {

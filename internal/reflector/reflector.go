@@ -1,0 +1,164 @@
+// Package reflector is the protocol-generic amplification abstraction. The
+// paper measures one reflector — NTP mode-7 monlist — but its decline story
+// is really one of vector substitution: as the monlist pool was remediated,
+// booters migrated to DNS ANY, SSDP and chargen, the other UDP services in
+// Rossow's NDSS'14 amplification catalogue (and US-CERT alert TA14-017A).
+// Each vector is described by a Profile: the trigger payload booters spoof,
+// the reflector-side service port, the published bandwidth amplification
+// factor, whether response size depends on reflector state the attacker
+// warms by priming, and the TTL fingerprint of the reflector population.
+//
+// The attack engine resolves every campaign through a Profile, so the
+// monlist path is just one instance of the interface: its Request bytes and
+// Port are exactly the values the engine used before the abstraction
+// existed, which is what keeps the golden-corpus digests byte-identical.
+package reflector
+
+import (
+	"fmt"
+
+	"ntpddos/internal/ntp"
+)
+
+// Vector names an amplification protocol. The zero value selects Monlist,
+// the paper's vector, so pre-existing Campaign literals keep their meaning.
+type Vector string
+
+// The implemented vectors.
+const (
+	// Monlist is NTP mode-7 MON_GETLIST_1 — the paper's 556.9× vector.
+	Monlist Vector = "monlist"
+	// DNSANY is an ANY query against an open recursive resolver.
+	DNSANY Vector = "dns-any"
+	// SSDP is an M-SEARCH ssdp:all discovery against a naive UPnP device.
+	SSDP Vector = "ssdp"
+	// Chargen is the RFC 864 character-generation service.
+	Chargen Vector = "chargen"
+)
+
+// Service ports of the non-NTP vectors (NTP's lives in internal/ntp).
+const (
+	DNSPort     = 53
+	ChargenPort = 19
+	SSDPPort    = 1900
+)
+
+// Profile describes one amplification vector: everything the attack engine
+// needs to forge triggers and everything the detection plane needs to
+// classify the reflected stream.
+type Profile struct {
+	Vector Vector
+	// Port is the reflector-side UDP service port triggers are sent to.
+	Port uint16
+	// Request is the trigger payload booters spoof from the victim address.
+	// Callers must not mutate it.
+	Request []byte
+	// BAF is the published bandwidth amplification factor (Rossow, NDSS'14;
+	// §3.4 of the paper for monlist). It is documentation and calibration —
+	// realized amplification on the fabric is mechanistic, computed from the
+	// actual response bytes each reflector emits.
+	BAF float64
+	// Stateful marks vectors whose response size depends on reflector state
+	// the attacker warms before launch (§3.2 priming): monlist replies grow
+	// with the monitor table, so booters prime it with spoofed mode-3
+	// clients. The stateless vectors ignore Campaign.PrimeSources.
+	Stateful bool
+	// ResponseTTL is the initial TTL typical of the vector's reflector
+	// population — the fingerprint the §7.2-style TTL analysis reads.
+	ResponseTTL uint8
+}
+
+// ssdpDiscover is the standard multicast discovery request, unicast at a
+// reflector as the abuse does.
+const ssdpDiscover = "M-SEARCH * HTTP/1.1\r\n" +
+	"HOST: 239.255.255.250:1900\r\n" +
+	"MAN: \"ssdp:discover\"\r\n" +
+	"MX: 1\r\n" +
+	"ST: ssdp:all\r\n\r\n"
+
+// profiles is the vector catalogue, in stable presentation order. BAF
+// sources: monlist 556.9 (paper §1, quoting Rossow), DNS ANY 28.7, SSDP
+// 30.8, chargen 358.8 (Rossow NDSS'14 / US-CERT TA14-017A).
+var profiles = []Profile{
+	{
+		Vector:  Monlist,
+		Port:    ntp.Port,
+		Request: ntp.NewMonlistRequestPadded(ntp.ImplXNTPD, ntp.ReqMonGetList1),
+		BAF:     556.9, Stateful: true,
+		ResponseTTL: 64, // the pool is dominated by Linux/Unix ntpd builds
+	},
+	{
+		Vector:  DNSANY,
+		Port:    DNSPort,
+		Request: dnsANYQuery(),
+		BAF:     28.7, Stateful: false,
+		ResponseTTL: 64, // CPE and Linux resolvers
+	},
+	{
+		Vector:  SSDP,
+		Port:    SSDPPort,
+		Request: []byte(ssdpDiscover),
+		BAF:     30.8, Stateful: false,
+		ResponseTTL: 64, // embedded-Linux UPnP stacks
+	},
+	{
+		Vector:  Chargen,
+		Port:    ChargenPort,
+		Request: []byte{0x0a}, // any datagram elicits a reply; one newline
+		BAF:     358.8, Stateful: false,
+		ResponseTTL: 128, // mostly Windows "Simple TCP/IP Services" boxes
+	},
+}
+
+var byVector = func() map[Vector]*Profile {
+	m := make(map[Vector]*Profile, len(profiles))
+	for i := range profiles {
+		m[profiles[i].Vector] = &profiles[i]
+	}
+	return m
+}()
+
+// Lookup resolves a vector name to its profile. The empty vector resolves
+// to Monlist — the default that keeps pre-abstraction campaigns unchanged.
+func Lookup(v Vector) (*Profile, error) {
+	if v == "" {
+		v = Monlist
+	}
+	p, ok := byVector[v]
+	if !ok {
+		return nil, fmt.Errorf("reflector: unknown vector %q", v)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup for vectors already validated at config time.
+func MustLookup(v Vector) *Profile {
+	p, err := Lookup(v)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// All returns the profiles in stable catalogue order.
+func All() []Profile {
+	out := make([]Profile, len(profiles))
+	copy(out, profiles)
+	return out
+}
+
+// Vectors returns every implemented vector name in catalogue order.
+func Vectors() []Vector {
+	out := make([]Vector, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Vector
+	}
+	return out
+}
+
+// Valid reports whether v names an implemented vector ("" counts: it is the
+// monlist default).
+func Valid(v Vector) bool {
+	_, err := Lookup(v)
+	return err == nil
+}

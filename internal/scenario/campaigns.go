@@ -1,0 +1,230 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"ntpddos/internal/asdb"
+	"ntpddos/internal/attack"
+	"ntpddos/internal/dns"
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/reflector"
+	"ntpddos/internal/rng"
+)
+
+// Multi-protocol reflector populations and campaign shaping. Everything in
+// this file draws from private RNG streams (rng.New(seed).Fork(...), like
+// the honeypot vantage), so enabling extra vectors or shaped campaigns
+// never perturbs the calibrated world stream — classic configurations stay
+// byte-identical, which the golden corpus pins.
+
+// extraVectorCalibration places each extra vector's abusable population:
+// the real-world pool size (the booter's harvested working set is a
+// bounded, scaled slice of it) and where such hosts live. Open resolvers
+// sit in access networks (§2: the 33.9M open-resolver pool), SSDP
+// reflectors are home-router UPnP stacks, and chargen survivors are ancient
+// inetd boxes in institutional space (Rossow NDSS'14 population orders).
+var extraVectorCalibration = map[reflector.Vector]struct {
+	pool      int
+	asWeights map[asdb.ASType]float64
+}{
+	reflector.DNSANY: {33_900_000, map[asdb.ASType]float64{
+		asdb.Telecom: 0.4, asdb.Residential: 0.3, asdb.Hosting: 0.2, asdb.Enterprise: 0.1}},
+	reflector.SSDP: {5_900_000, map[asdb.ASType]float64{
+		asdb.Residential: 0.7, asdb.Telecom: 0.3}},
+	reflector.Chargen: {100_000, map[asdb.ASType]float64{
+		asdb.Enterprise: 0.4, asdb.Education: 0.3, asdb.Hosting: 0.3}},
+}
+
+// harvestedListBounds clamp each vector's registered population: booters
+// work from harvested lists, not the whole pool, so the fabric only needs
+// the working set.
+const (
+	minHarvestedList = 8
+	maxHarvestedList = 1024
+)
+
+// buildExtraReflectors registers each enabled extra vector's reflector
+// population. Addresses come from a per-vector private stream
+// ("reflectors-<vector>"), so vector sets can be enabled independently
+// without shifting each other's placements.
+func (w *World) buildExtraReflectors() {
+	if len(w.Cfg.ExtraVectors) == 0 {
+		return
+	}
+	w.Reflectors = make(attack.AmplifierSets, len(w.Cfg.ExtraVectors))
+	for _, name := range w.Cfg.ExtraVectors {
+		v := reflector.Vector(name)
+		cal, ok := extraVectorCalibration[v]
+		if !ok {
+			panic(fmt.Sprintf("scenario: unknown extra vector %q", name))
+		}
+		if len(w.Reflectors[v]) > 0 {
+			continue // duplicate name
+		}
+		n := w.Cfg.scaled(cal.pool)
+		if n < minHarvestedList {
+			n = minHarvestedList
+		}
+		if n > maxHarvestedList {
+			n = maxHarvestedList
+		}
+		src := rng.New(w.Cfg.Seed).Fork("reflectors-" + name)
+		var addrs []netaddr.Addr
+		for tries := 0; len(addrs) < n && tries < n*50; tries++ {
+			as := w.DB.PickWeighted(src, func(as *asdb.AS) float64 {
+				if as.Name == asdb.NameMerit || as.Name == asdb.NameCSU || as.Name == asdb.NameFRGP {
+					return 0 // site traffic stays §7 ground truth
+				}
+				return cal.asWeights[as.Type]
+			})
+			if as == nil {
+				break
+			}
+			addr := as.RandomAddr(src)
+			if w.Net.IsRegistered(addr) {
+				continue
+			}
+			if _, taken := w.Servers[addr]; taken {
+				continue
+			}
+			switch v {
+			case reflector.DNSANY:
+				w.Net.Register(addr, dns.NewResolver(addr, true))
+			case reflector.SSDP:
+				w.Net.Register(addr, reflector.NewSSDPNode(addr))
+			case reflector.Chargen:
+				w.Net.Register(addr, reflector.NewChargenNode(addr))
+			}
+			addrs = append(addrs, addr)
+		}
+		w.Reflectors[v] = addrs
+	}
+}
+
+// enabledVectors returns monlist plus every extra vector with a registered
+// population, in catalogue order (deterministic — never map order).
+func (w *World) enabledVectors() []reflector.Vector {
+	vs := []reflector.Vector{reflector.Monlist}
+	for _, v := range reflector.Vectors() {
+		if v != reflector.Monlist && len(w.Reflectors[v]) > 0 {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+// sampleAddrs draws k distinct addresses uniformly from list using src.
+func sampleAddrs(src *rng.Source, list []netaddr.Addr, k int) []netaddr.Addr {
+	if k >= len(list) {
+		out := make([]netaddr.Addr, len(list))
+		copy(out, list)
+		return out
+	}
+	out := make([]netaddr.Addr, 0, k)
+	seen := make(map[int]bool, k)
+	for len(out) < k {
+		i := src.IntN(len(list))
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, list[i])
+		}
+	}
+	return out
+}
+
+// ampSets builds a campaign's per-vector amplifier map: the sampled monlist
+// list as drawn by the classic path, plus a same-breadth sample of each
+// extra vector's harvested population (drawn from the campaign stream).
+func (w *World) ampSets(monlistAmps []netaddr.Addr) attack.AmplifierSets {
+	sets := attack.AmplifierSets{reflector.Monlist: monlistAmps}
+	k := len(monlistAmps)
+	if k < 2 {
+		k = 2
+	}
+	for _, v := range reflector.Vectors() {
+		if pool := w.Reflectors[v]; len(pool) > 0 {
+			sets[v] = sampleAddrs(w.campSrc, pool, k)
+		}
+	}
+	return sets
+}
+
+// shapeCampaign possibly reshapes one classic fabric campaign into a
+// pulse-wave, carpet-bombing, or multi-vector schedule, per the configured
+// shares. It returns true when it consumed the campaign (the shaped
+// launches replace the classic one). With every share zero it returns
+// false before touching any RNG, so classic worlds are byte-identical.
+func (w *World) shapeCampaign(c attack.Campaign) bool {
+	if w.campSrc == nil {
+		return false
+	}
+	r := w.campSrc.Float64()
+	cfg := w.Cfg
+	switch {
+	case r < cfg.PulseWaveShare:
+		w.shapePulseWave(c)
+	case r < cfg.PulseWaveShare+cfg.CarpetBombShare:
+		w.shapeCarpetBomb(c)
+	case r < cfg.PulseWaveShare+cfg.CarpetBombShare+cfg.MultiVectorShare:
+		w.shapeMultiVector(c)
+	default:
+		return false
+	}
+	return true
+}
+
+// shapePulseWave turns the campaign into a fixed-period burst rotation over
+// the original victim plus a few pool co-targets, cycling the enabled
+// vector set — the shape that defeats sustained-flood trackers.
+func (w *World) shapePulseWave(c attack.Campaign) {
+	src := w.campSrc
+	victims := []netaddr.Addr{c.Victim}
+	for n := 1 + src.IntN(3); n > 0; n-- {
+		victims = append(victims, w.victimPool[src.IntN(len(w.victimPool))].addr)
+	}
+	period := time.Duration(2+src.IntN(9)) * time.Minute
+	w.Engine.LaunchPulseWave(attack.PulseWave{
+		Victims: victims, Port: c.Port,
+		Vectors:    w.enabledVectors(),
+		Amplifiers: w.ampSets(c.Amplifiers),
+		Start:      c.Start, Period: period, BurstLen: period / 2,
+		Bursts:      len(victims) * (3 + src.IntN(6)),
+		TriggerRate: c.TriggerRate, PrimeSources: c.PrimeSources,
+	})
+}
+
+// shapeCarpetBomb spreads the campaign across the victim's /24 in
+// back-to-back slices, on one vector drawn from the enabled set.
+func (w *World) shapeCarpetBomb(c attack.Campaign) {
+	src := w.campSrc
+	vecs := w.enabledVectors()
+	v := vecs[src.IntN(len(vecs))]
+	amps := c.Amplifiers
+	if v != reflector.Monlist {
+		amps = sampleAddrs(src, w.Reflectors[v], len(c.Amplifiers))
+	}
+	targets := 16 + src.IntN(48)
+	slice := c.Duration / time.Duration(targets)
+	if slice < 5*time.Second {
+		slice = 5 * time.Second
+	}
+	w.Engine.LaunchCarpetBomb(attack.CarpetBomb{
+		Prefix: c.Victim.Slash24(), Port: c.Port, Vector: v,
+		Amplifiers: amps,
+		Start:      c.Start, SliceLen: slice,
+		TriggerRate: c.TriggerRate, MaxTargets: targets,
+	})
+}
+
+// shapeMultiVector blends every enabled vector against the original victim
+// simultaneously — the booter "stresser package" shape.
+func (w *World) shapeMultiVector(c attack.Campaign) {
+	w.Engine.LaunchMultiVector(attack.MultiVector{
+		Victim: c.Victim, Port: c.Port,
+		Vectors:    w.enabledVectors(),
+		Amplifiers: w.ampSets(c.Amplifiers),
+		Start:      c.Start, Duration: c.Duration,
+		TriggerRate: c.TriggerRate, PrimeSources: c.PrimeSources,
+	})
+}

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/detect"
+	"ntpddos/internal/reflector"
+)
+
+// TestShapedCampaignWorld runs a short window with every extra vector and
+// all three campaign shapes enabled, and checks the whole loop: reflector
+// populations registered, shaped campaigns in the ground-truth log under
+// their vectors, and the streaming detector classifying non-NTP lanes.
+func TestShapedCampaignWorld(t *testing.T) {
+	cfg := TestConfig()
+	cfg.End = time.Date(2014, 1, 20, 0, 0, 0, 0, time.UTC)
+	cfg.ExtraVectors = []string{"dns-any", "ssdp", "chargen"}
+	cfg.PulseWaveShare = 0.25
+	cfg.CarpetBombShare = 0.2
+	cfg.MultiVectorShare = 0.2
+	dcfg := detect.DefaultConfig()
+	cfg.Detector = &dcfg
+	res := Run(cfg)
+	w := res.World
+
+	for _, v := range []reflector.Vector{reflector.DNSANY, reflector.SSDP, reflector.Chargen} {
+		pool := w.Reflectors[v]
+		if len(pool) < minHarvestedList {
+			t.Fatalf("%s population %d below floor %d", v, len(pool), minHarvestedList)
+		}
+		for _, a := range pool {
+			if !w.Net.IsRegistered(a) {
+				t.Fatalf("%s reflector %v not registered", v, a)
+			}
+			if _, isServer := w.Servers[a]; isServer {
+				t.Fatalf("%s reflector %v collides with an NTP daemon", v, a)
+			}
+		}
+	}
+
+	byVec := map[reflector.Vector]int{}
+	for _, c := range w.Launched {
+		byVec[c.Vector]++
+	}
+	// Classic campaigns carry the zero vector; shaped ones are explicit,
+	// including shaped monlist bursts.
+	if byVec[""] == 0 || byVec[reflector.Monlist] == 0 {
+		t.Fatalf("campaign mix missing classic or shaped-monlist entries: %v", byVec)
+	}
+	if byVec[reflector.DNSANY] == 0 || byVec[reflector.SSDP] == 0 || byVec[reflector.Chargen] == 0 {
+		t.Fatalf("no extra-vector campaigns launched: %v", byVec)
+	}
+
+	if res.Detection == nil {
+		t.Fatal("detector summary missing")
+	}
+	var nonNTP int64
+	for _, row := range res.Detection.Vectors {
+		if row.Vector != "ntp" {
+			nonNTP += row.Responses
+		}
+	}
+	if nonNTP == 0 {
+		t.Fatalf("detector saw no non-NTP reflections: %+v", res.Detection.Vectors)
+	}
+}
+
+// TestExtraVectorsAloneDontPerturbCampaigns pins the gating contract from
+// the other side: registering reflector populations (zero shaping shares)
+// must leave the classic campaign schedule untouched, because every extra
+// draw comes from private per-vector streams.
+func TestExtraVectorsAloneDontPerturbCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double run skipped in -short mode")
+	}
+	cfg := TestConfig()
+	cfg.End = time.Date(2014, 1, 10, 0, 0, 0, 0, time.UTC)
+	a := Run(cfg)
+	cfg.ExtraVectors = []string{"dns-any", "ssdp", "chargen"}
+	b := Run(cfg)
+	if len(a.World.Launched) != len(b.World.Launched) {
+		t.Fatalf("campaign counts diverged: %d vs %d",
+			len(a.World.Launched), len(b.World.Launched))
+	}
+	for i := range a.World.Launched {
+		ca, cb := a.World.Launched[i], b.World.Launched[i]
+		if ca.Victim != cb.Victim || !ca.Start.Equal(cb.Start) || ca.Vector != cb.Vector {
+			t.Fatalf("campaign %d diverged: %+v vs %+v", i, ca, cb)
+		}
+	}
+}

@@ -109,6 +109,23 @@ type Config struct {
 	// datagrams and hashes with a seed forked independently of the world
 	// stream, so report digests are identical with Detector nil or set.
 	Detector *detect.Config
+
+	// ExtraVectors enables additional amplification protocols alongside
+	// monlist ("dns", "ssdp", "chargen"): each named vector gets a scaled
+	// reflector population registered on the fabric (addresses drawn from
+	// private per-vector RNG streams), and campaign shaping rotates bursts
+	// across the enabled set. Empty keeps the classic monlist-only world —
+	// zero extra draws, zero extra hosts, digests unchanged.
+	ExtraVectors []string
+
+	// PulseWaveShare, CarpetBombShare, and MultiVectorShare are the
+	// fractions of fabric campaigns reshaped into fixed-period burst
+	// rotations, /24 carpet sweeps, and simultaneous multi-protocol blends
+	// respectively (shares sum at most 1). All zero disables shaping: the
+	// campaign stream is never forked and classic digests are unchanged.
+	PulseWaveShare   float64
+	CarpetBombShare  float64
+	MultiVectorShare float64
 }
 
 // DefaultConfig is the benchmark configuration.
@@ -207,6 +224,13 @@ type World struct {
 	// Detect is the streaming detection plane (nil when disabled), fed by a
 	// passive fabric tap alongside the telescope and ISP views.
 	Detect *detect.Detector
+	// Reflectors maps each enabled extra vector to its registered reflector
+	// population (nil when Config.ExtraVectors is empty).
+	Reflectors attack.AmplifierSets
+	// campSrc is the campaign-shaping stream, forked from the seed privately
+	// like hpSrc; nil while every shaping share is zero, so classic worlds
+	// never create it.
+	campSrc *rng.Source
 	// hpSrc is the honeypot vantage's private RNG root, forked from the seed
 	// separately from Src so the fleet never perturbs world randomness.
 	hpSrc *rng.Source
@@ -338,6 +362,10 @@ func Build(cfg Config) *World {
 	w.buildAttackers()
 	w.buildDNSPool()
 	w.placeSensors()
+	w.buildExtraReflectors()
+	if cfg.PulseWaveShare > 0 || cfg.CarpetBombShare > 0 || cfg.MultiVectorShare > 0 {
+		w.campSrc = rng.New(cfg.Seed).Fork("campaigns")
+	}
 
 	w.Engine = attack.NewEngine(nw, src.Fork("attack"), w.botAddrs)
 	if cfg.Metrics != nil {

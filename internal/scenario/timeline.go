@@ -253,6 +253,13 @@ func (w *World) generateFabricAttacksForDay(day time.Time, ampList []netaddr.Add
 			PrimeSources: primeSrc,
 			Interval:     interval,
 		}
+		// Campaign shaping (pulse-wave / carpet-bombing / multi-vector)
+		// consumes the campaign whole — including the sibling expansion
+		// below, which models sustained-flood behaviour. With every share
+		// zero this is a no-op that draws nothing.
+		if w.shapeCampaign(c) {
+			continue
+		}
 		w.Engine.Launch(c)
 		// "A given attack campaign may involve several IPs in a network
 		// block" (§4.3.4): with some probability the same campaign also

@@ -561,6 +561,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad knob", `{"seeds":"1","detect":"maybe"}`, 400, "invalid"},
 		{"too large", `{"seeds":"1-8"}`, 400, "toolarge"},
 		{"negative timeout", `{"seeds":"1","timeout_s":-1}`, 400, "invalid"},
+		{"bad vector", `{"seeds":"1","vectors":["smurf"]}`, 400, "invalid"},
+		{"bad pulse share", `{"seeds":"1","pulse":[1.5]}`, 400, "invalid"},
 	}
 	for _, tc := range cases {
 		resp, body := e.submit(t, tc.body)
@@ -574,6 +576,14 @@ func TestSubmitValidation(t *testing.T) {
 		if err := json.Unmarshal(body, &eb); err != nil || eb.Reason != tc.wantReason {
 			t.Errorf("%s: reason = %q (err %v), want %q", tc.name, eb.Reason, err, tc.wantReason)
 		}
+	}
+
+	// Campaign fields flow through the embedded sweep.Spec: the daemon
+	// accepts them and expands the same grid the CLI would.
+	st := e.submitOK(t, `{"seeds":"1","vectors":["dns-any","ssdp"],"pulse":[0,0.3],"multi":[0.2]}`)
+	fin := e.waitState(t, st.ID, StateDone)
+	if fin.Progress.Total != 2 {
+		t.Fatalf("campaign spec expanded %d jobs, want 2", fin.Progress.Total)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ntpddos/internal/detect"
+	"ntpddos/internal/reflector"
 	"ntpddos/internal/scenario"
 )
 
@@ -36,6 +37,16 @@ type Spec struct {
 	Spoof []float64 `json:"spoof,omitempty"`
 	// Hazard lists remediation-hazard multipliers.
 	Hazard []float64 `json:"hazard,omitempty"`
+	// Vectors arms extra reflector planes alongside monlist ("dns-any",
+	// "ssdp", "chargen"). Base-config setting, not a grid dimension:
+	// registering a population is free until a campaign share uses it.
+	Vectors []string `json:"vectors,omitempty"`
+	// Pulse lists pulse-wave campaign shares in [0,1].
+	Pulse []float64 `json:"pulse,omitempty"`
+	// Carpet lists carpet-bombing campaign shares in [0,1].
+	Carpet []float64 `json:"carpet,omitempty"`
+	// Multi lists multi-vector campaign shares in [0,1].
+	Multi []float64 `json:"multi,omitempty"`
 }
 
 // NumJobs returns how many jobs the spec expands to, without building
@@ -54,11 +65,10 @@ func (s Spec) NumJobs() (int, error) {
 			n *= 2
 		}
 	}
-	if len(s.Spoof) > 0 {
-		n *= len(s.Spoof)
-	}
-	if len(s.Hazard) > 0 {
-		n *= len(s.Hazard)
+	for _, vals := range [][]float64{s.Spoof, s.Hazard, s.Pulse, s.Carpet, s.Multi} {
+		if len(vals) > 0 {
+			n *= len(vals)
+		}
 	}
 	return n, nil
 }
@@ -125,7 +135,47 @@ func (s Spec) Grid(base scenario.Config) (Grid, error) {
 				c.RemediationHazard = v
 			})})
 	}
+	for i, name := range s.Vectors {
+		v := reflector.Vector(name)
+		if name == "" || v == reflector.Monlist || !reflector.Valid(v) {
+			return g, fmt.Errorf("bad vectors[%d] %q: want one of %v", i, name, ExtraVectorNames())
+		}
+	}
+	if len(s.Vectors) > 0 {
+		g.Base.ExtraVectors = s.Vectors
+	}
+	for _, share := range []struct {
+		name string
+		vals []float64
+		set  func(*scenario.Config, float64)
+	}{
+		{"pulse", s.Pulse, func(c *scenario.Config, v float64) { c.PulseWaveShare = v }},
+		{"carpet", s.Carpet, func(c *scenario.Config, v float64) { c.CarpetBombShare = v }},
+		{"multi", s.Multi, func(c *scenario.Config, v float64) { c.MultiVectorShare = v }},
+	} {
+		if len(share.vals) == 0 {
+			continue
+		}
+		for i, v := range share.vals {
+			if v < 0 || v > 1 {
+				return g, fmt.Errorf("bad %s[%d] %v: share must be within [0,1]", share.name, i, v)
+			}
+		}
+		g.Knobs = append(g.Knobs, Knob{Name: share.name, Values: FloatKnob(share.vals, share.set)})
+	}
 	return g, nil
+}
+
+// ExtraVectorNames lists the vectors a spec may arm beyond monlist — the
+// catalogue minus the always-on default, in stable order.
+func ExtraVectorNames() []reflector.Vector {
+	var out []reflector.Vector
+	for _, v := range reflector.Vectors() {
+		if v != reflector.Monlist {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Jobs compiles the spec and expands it in one step.

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -162,18 +163,76 @@ func TestSpecGridShapes(t *testing.T) {
 		t.Fatalf("end truncation: %v", j.Cfg.End)
 	}
 
-	// Errors surface for every malformed field.
-	for _, bad := range []Spec{
-		{Seeds: "zz"},
-		{Seeds: "1", Scale: -5},
-		{Seeds: "1", Scales: []int{0}},
-		{Seeds: "1", End: "not-a-date"},
-		{Seeds: "1", Detect: "sometimes"},
-		{Seeds: "1", NoRemediation: "maybe"},
-	} {
-		if _, err := bad.Grid(base); err == nil {
-			t.Fatalf("spec %+v accepted, want error", bad)
-		}
+	// Campaign-shape knobs expand the grid and land on the config.
+	g, err = Spec{
+		Seeds:   "1",
+		Vectors: []string{"dns-any", "ssdp"},
+		Pulse:   []float64{0, 0.3},
+		Carpet:  []float64{0.2},
+		Multi:   []float64{0.1},
+	}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = g.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("campaign grid expanded %d jobs, want 2", len(jobs))
+	}
+	j = jobs[1]
+	if j.ID != "pulse=0.3/carpet=0.2/multi=0.1/seed=1" {
+		t.Fatalf("campaign job ID = %q", j.ID)
+	}
+	if len(j.Cfg.ExtraVectors) != 2 || j.Cfg.ExtraVectors[0] != "dns-any" {
+		t.Fatalf("vectors not applied: %v", j.Cfg.ExtraVectors)
+	}
+	if j.Cfg.PulseWaveShare != 0.3 || j.Cfg.CarpetBombShare != 0.2 || j.Cfg.MultiVectorShare != 0.1 {
+		t.Fatalf("shares not applied: %+v", j.Cfg)
+	}
+	if jobs[0].Cfg.PulseWaveShare != 0 {
+		t.Fatalf("pulse=0 cell leaked a share: %v", jobs[0].Cfg.PulseWaveShare)
+	}
+}
+
+// TestSpecRejectsBadFieldsWithValue walks every validation branch in
+// Spec.Grid and ParseSeeds and checks the error names the offending value —
+// the contract that makes a rejected daemon job self-explanatory without
+// re-reading the submitted spec.
+func TestSpecRejectsBadFieldsWithValue(t *testing.T) {
+	base := scenario.TestConfig()
+	cases := []struct {
+		name string
+		spec Spec
+		want string // offending value, must appear in the error
+	}{
+		{"seeds empty", Spec{Seeds: ""}, `""`},
+		{"seeds garbage", Spec{Seeds: "zz"}, `"zz"`},
+		{"seeds inverted range", Spec{Seeds: "5-2"}, `"5-2"`},
+		{"seeds huge range", Spec{Seeds: "1-999999"}, `"1-999999"`},
+		{"scale negative", Spec{Seeds: "1", Scale: -5}, "-5"},
+		{"scales zero entry", Spec{Seeds: "1", Scales: []int{2000, 0}}, "scales[1] 0"},
+		{"end not a date", Spec{Seeds: "1", End: "not-a-date"}, `"not-a-date"`},
+		{"detect bad word", Spec{Seeds: "1", Detect: "sometimes"}, `"sometimes"`},
+		{"noremediation bad word", Spec{Seeds: "1", NoRemediation: "maybe"}, `"maybe"`},
+		{"vector unknown", Spec{Seeds: "1", Vectors: []string{"smurf"}}, `"smurf"`},
+		{"vector empty", Spec{Seeds: "1", Vectors: []string{""}}, `vectors[0] ""`},
+		{"vector monlist redundant", Spec{Seeds: "1", Vectors: []string{"monlist"}}, `"monlist"`},
+		{"pulse negative", Spec{Seeds: "1", Pulse: []float64{-0.1}}, "pulse[0] -0.1"},
+		{"pulse above one", Spec{Seeds: "1", Pulse: []float64{0.5, 1.5}}, "pulse[1] 1.5"},
+		{"carpet negative", Spec{Seeds: "1", Carpet: []float64{-1}}, "carpet[0] -1"},
+		{"carpet above one", Spec{Seeds: "1", Carpet: []float64{2}}, "carpet[0] 2"},
+		{"multi negative", Spec{Seeds: "1", Multi: []float64{-0.01}}, "multi[0] -0.01"},
+		{"multi above one", Spec{Seeds: "1", Multi: []float64{1.01}}, "multi[0] 1.01"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.spec.Grid(base)
+			if err == nil {
+				t.Fatalf("spec %+v accepted, want error", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name the offending value %q", err, c.want)
+			}
+		})
 	}
 }
 
