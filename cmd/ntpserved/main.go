@@ -11,6 +11,7 @@
 //	ntpserved -queue 32 -concurrency 2           # deeper queue, 2 jobs at once
 //	ntpserved -rate 1 -burst 5                   # 1 submit/s per client
 //	ntpserved -job-timeout 10m                   # default per-job deadline
+//	ntpserved -checkpoint-dir state -retries 2   # crash-safe resume + sub-job retries
 //
 // API walkthrough:
 //
@@ -58,6 +59,9 @@ func main() {
 		burst        = flag.Float64("burst", 10, "per-client burst size when -rate is set")
 		jobTimeout   = flag.Duration("job-timeout", 0, "default per-job deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for running jobs before checkpointing them")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for crash-safe job checkpoints; a restarted daemon resumes interrupted jobs from it (empty = no persistence)")
+		maxRetries   = flag.Int("retries", 0, "re-executions of a failed sub-job before its error lands in the manifest")
+		retryDelay   = flag.Duration("retry-delay", time.Second, "backoff before the first sub-job retry (doubles per attempt, capped at 30s)")
 		quiet        = flag.Bool("q", false, "suppress lifecycle log lines")
 		showVersion  = buildinfo.Flag()
 	)
@@ -81,6 +85,9 @@ func main() {
 		Rate:            *rate,
 		Burst:           *burst,
 		JobTimeout:      *jobTimeout,
+		CheckpointDir:   *ckptDir,
+		MaxRetries:      *maxRetries,
+		RetryDelay:      *retryDelay,
 		Registry:        reg,
 	}
 	if !*quiet {

@@ -250,6 +250,82 @@ func TestGracefulDrain(t *testing.T) {
 	}
 }
 
+// TestKillAndResume is the crash-safety acceptance check: a daemon
+// SIGKILLed mid-job leaves a checkpoint from which a fresh process resumes
+// the job, and the recovered manifest digest matches an uninterrupted
+// in-process run of the same spec.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	dir := t.TempDir()
+	specJSON := `{"seeds":"1-3","scale":4000,"end":"2014-01-17"}`
+
+	cmd, base := startDaemon(t, "-addr", "127.0.0.1:0", "-q",
+		"-checkpoint-dir", dir, "-workers", "1")
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Wait for at least one landed sub-job (checkpointed), then pull the plug
+	// with the job still in flight.
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		cur, err := getStatus(t, base, st.ID)
+		if err == nil && cur.Progress.Completed >= 1 && !cur.State.Terminal() {
+			break
+		}
+		if err == nil && cur.State.Terminal() {
+			t.Fatalf("job finished before SIGKILL could interrupt: %+v", cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no sub-job landed in time (last %+v, err %v)", cur, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if _, err := os.Stat(filepath.Join(dir, st.ID+".ckpt")); err != nil {
+		t.Fatalf("no checkpoint survived the kill: %v", err)
+	}
+
+	// A fresh process on the same checkpoint dir resumes and finishes the job.
+	_, base2 := startDaemon(t, "-addr", "127.0.0.1:0", "-q",
+		"-checkpoint-dir", dir, "-workers", "1")
+	fin := waitTerminal(t, base2, st.ID, 3*time.Minute)
+	if fin.State != serve.StateDone || !fin.Recovered {
+		t.Fatalf("resumed job = %+v, want recovered done", fin)
+	}
+
+	var spec sweep.Spec
+	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Jobs(ntpddos.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Digest != want.Digest() {
+		t.Errorf("resumed digest %s != uninterrupted %s", fin.Digest, want.Digest())
+	}
+	// The finished job's checkpoint is gone.
+	if _, err := os.Stat(filepath.Join(dir, st.ID+".ckpt")); !os.IsNotExist(err) {
+		t.Errorf("checkpoint survived completion: %v", err)
+	}
+}
+
 func TestVersionFlag(t *testing.T) {
 	out, err := exec.Command(daemonBinary(t), "-version").CombinedOutput()
 	if err != nil {

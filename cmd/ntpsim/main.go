@@ -8,6 +8,7 @@
 //	ntpsim -list               # list experiment ids
 //	ntpsim -csv -experiment table4 > ports.csv
 //	ntpsim -scale 2000         # faster, coarser world
+//	ntpsim -loss 0.1 -sample 16 -detect   # chaos run: lossy fabric, sampled NetFlow
 package main
 
 import (
@@ -35,6 +36,13 @@ func main() {
 		pcapDir     = flag.String("pcap", "", "directory to persist weekly monlist samples as .pcap files")
 		detector    = flag.Bool("detect", false, "attach the streaming detection plane and print its report after the run")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /healthz on this address while the run progresses (e.g. :9091)")
+		loss        = flag.Float64("loss", 0, "fabric packet-loss rate in [0,1) (fault injection)")
+		dup         = flag.Float64("dup", 0, "fabric duplication rate in [0,1)")
+		reorder     = flag.Float64("reorder", 0, "fabric reordering rate in [0,1)")
+		flap        = flag.Float64("flap", 0, "link-flap dark fraction in [0,1)")
+		sample      = flag.Int("sample", 1, "NetFlow 1-in-N sampling stride (1 = unsampled)")
+		outage      = flag.Float64("outage", 0, "NetFlow collector dark fraction in [0,1)")
+		blackout    = flag.Float64("blackout", 0, "honeypot sensor blackout fraction in [0,1)")
 	)
 	showVersion := buildinfo.Flag()
 	flag.Parse()
@@ -47,6 +55,27 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.PCAPDir = *pcapDir
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"-loss", *loss}, {"-dup", *dup}, {"-reorder", *reorder},
+		{"-flap", *flap}, {"-outage", *outage}, {"-blackout", *blackout},
+	} {
+		if r.v < 0 || r.v >= 1 {
+			log.Fatalf("ntpsim: bad %s %v: rate must be within [0,1)", r.name, r.v)
+		}
+	}
+	if *sample < 1 {
+		log.Fatalf("ntpsim: bad -sample %d: sampling stride must be at least 1", *sample)
+	}
+	cfg.Faults.Loss = *loss
+	cfg.Faults.Dup = *dup
+	cfg.Faults.Reorder = *reorder
+	cfg.Faults.FlapRate = *flap
+	cfg.Faults.FlowSampleN = *sample
+	cfg.Faults.CollectorOutage = *outage
+	cfg.Faults.SensorBlackout = *blackout
 	if *detector {
 		dcfg := detect.DefaultConfig()
 		cfg.Detector = &dcfg

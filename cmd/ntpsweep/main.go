@@ -14,6 +14,8 @@
 //	ntpsweep -seeds 1-4 -detect both            # detector on/off ablation
 //	ntpsweep -seeds 1-4 -vectors dns-any,ssdp,chargen -pulse 0.3 \
 //	         -carpet 0.2 -multi 0.2 -detect on  # shaped multi-protocol campaigns
+//	ntpsweep -seeds 1-4 -loss 0,0.05,0.1,0.2 -detect on \
+//	         -sample 1,16                       # detection-degradation grid
 //	ntpsweep -seeds 1-4 -end 2014-02-01         # truncated window (fast)
 //	ntpsweep -seeds 1-4 -out manifest.json      # manifest to a file
 //	ntpsweep -seeds 1-4 -csv                    # per-job CSV on stdout
@@ -59,6 +61,13 @@ func main() {
 		pulseSpec   = flag.String("pulse", "", "comma-separated pulse-wave campaign shares in [0,1] (e.g. 0,0.3)")
 		carpetSpec  = flag.String("carpet", "", "comma-separated carpet-bombing campaign shares in [0,1]")
 		multiSpec   = flag.String("multi", "", "comma-separated multi-vector campaign shares in [0,1]")
+		lossSpec    = flag.String("loss", "", "comma-separated fabric packet-loss rates in [0,1) (fault grid)")
+		dupSpec     = flag.String("dup", "", "comma-separated fabric duplication rates in [0,1)")
+		reorderSpec = flag.String("reorder", "", "comma-separated fabric reordering rates in [0,1)")
+		flapSpec    = flag.String("flap", "", "comma-separated link-flap dark fractions in [0,1)")
+		sampleSpec  = flag.String("sample", "", "comma-separated NetFlow 1-in-N sampling strides (e.g. 1,16,64)")
+		outageSpec  = flag.String("outage", "", "comma-separated NetFlow collector dark fractions in [0,1)")
+		blackSpec   = flag.String("blackout", "", "comma-separated honeypot sensor blackout fractions in [0,1)")
 		csv         = flag.Bool("csv", false, "emit the per-job table as CSV instead of the JSON manifest")
 		out         = flag.String("out", "-", "manifest destination (- = stdout)")
 		quiet       = flag.Bool("q", false, "suppress per-job progress lines")
@@ -72,6 +81,8 @@ func main() {
 		name: *name, seeds: *seedSpec, scales: *scaleSpec, end: *endSpec,
 		detect: *detectSpec, norem: *noremSpec, spoof: *spoofSpec, hazard: *hazardSpec,
 		vectors: *vectorSpec, pulse: *pulseSpec, carpet: *carpetSpec, multi: *multiSpec,
+		loss: *lossSpec, dup: *dupSpec, reorder: *reorderSpec, flap: *flapSpec,
+		sample: *sampleSpec, outage: *outageSpec, blackout: *blackSpec,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -156,6 +167,8 @@ type specFlags struct {
 	name, seeds, scales, end, detect, norem string
 	spoof, hazard, pulse, carpet, multi     string
 	vectors                                 string
+	loss, dup, reorder, flap                string
+	sample, outage, blackout                string
 }
 
 // buildSpec assembles the declarative sweep spec from the flag strings; the
@@ -192,6 +205,12 @@ func buildSpec(f specFlags) (sweep.Spec, error) {
 		{"-pulse", f.pulse, &s.Pulse},
 		{"-carpet", f.carpet, &s.Carpet},
 		{"-multi", f.multi, &s.Multi},
+		{"-loss", f.loss, &s.Loss},
+		{"-dup", f.dup, &s.Dup},
+		{"-reorder", f.reorder, &s.Reorder},
+		{"-flap", f.flap, &s.Flap},
+		{"-outage", f.outage, &s.Outage},
+		{"-blackout", f.blackout, &s.Blackout},
 	} {
 		if fl.spec == "" {
 			continue
@@ -201,6 +220,13 @@ func buildSpec(f specFlags) (sweep.Spec, error) {
 			return s, fmt.Errorf("bad %s: %w", fl.flag, err)
 		}
 		*fl.dst = vals
+	}
+	if f.sample != "" {
+		strides, err := parseInts(f.sample)
+		if err != nil {
+			return s, fmt.Errorf("bad -sample: %w", err)
+		}
+		s.Sample = strides
 	}
 	return s, nil
 }

@@ -96,3 +96,7 @@ func TestMetricsDoNotPerturbSimulation(t *testing.T) {
 		}
 	}
 }
+
+// The fault-plane analogue of this contract (instrumentation inertness
+// with every impairment armed) lives in the integration package, which
+// carries its own test-binary budget alongside the sweep walls.

@@ -11,16 +11,18 @@ import (
 	"time"
 
 	"ntpddos/internal/detect"
+	"ntpddos/internal/scenario"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.json from the current code")
 
 const goldenPath = "testdata/golden_digests.json"
 
-// goldenJobs defines the pinned corpus: six small configurations chosen to
+// goldenJobs defines the pinned corpus: seven small configurations chosen to
 // cover distinct code paths (baseline, resized honeypot fleet, the
-// counterfactual knobs added for sweeps, and the three shaped campaign
-// schedules over the multi-protocol reflector plane). Each runs a truncated
+// counterfactual knobs added for sweeps, the three shaped campaign
+// schedules over the multi-protocol reflector plane, and the fault-injection
+// plane with every impairment armed at once). Each runs a truncated
 // window — one monlist survey, a live honeypot event stream, and all 33
 // tables — in a few seconds, so the corpus is cheap enough for every CI run.
 func goldenJobs() []SweepJob {
@@ -55,6 +57,21 @@ func goldenJobs() []SweepJob {
 	multi.ExtraVectors = []string{"dns-any", "ssdp", "chargen"}
 	multi.MultiVectorShare = 0.4
 
+	// Every fault class armed at once, with the detector and a pulse-wave
+	// share attached so degraded vantages are exercised against real alarms.
+	// Runs at half the base scale: this config pays for duplication and the
+	// detector on top of the usual pipeline, and the corpus must stay cheap.
+	faults := base
+	faults.Scale = 8000
+	faults.Seed = 19
+	faults.PulseWaveShare = 0.3
+	fcfg := detect.DefaultConfig()
+	faults.Detector = &fcfg
+	faults.Faults = scenario.FaultConfig{
+		Loss: 0.08, Dup: 0.04, Reorder: 0.05, FlapRate: 0.05,
+		FlowSampleN: 4, CollectorOutage: 0.2, SensorBlackout: 0.2,
+	}
+
 	return []SweepJob{
 		{ID: "base/seed=1", Experiment: "base", Cfg: base},
 		{ID: "sensors24/seed=7", Experiment: "sensors24", Cfg: sensors},
@@ -62,6 +79,7 @@ func goldenJobs() []SweepJob {
 		{ID: "pulse/seed=11", Experiment: "pulse", Cfg: pulse},
 		{ID: "carpet/seed=13", Experiment: "carpet", Cfg: carpet},
 		{ID: "multivector/seed=17", Experiment: "multivector", Cfg: multi},
+		{ID: "faults/seed=19", Experiment: "faults", Cfg: faults},
 	}
 }
 

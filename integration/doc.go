@@ -1,0 +1,10 @@
+// Package integration holds the cross-layer integration walls that each
+// spin up multiple truncated simulation worlds: the sweep parallelism and
+// replicate-invariant walls, the daemon-vs-in-process manifest identity
+// wall, and the fault-injection plane contracts (instrumentation inertness
+// under injected chaos, byte-identical manifests across worker counts with
+// every impairment armed). They live outside the root package so neither
+// test binary crowds the other's budget: the root suite keeps the seed
+// determinism, golden-corpus, and paper-figure walls, and this package
+// carries the multi-world sweeps.
+package integration

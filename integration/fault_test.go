@@ -1,0 +1,93 @@
+package integration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ntpddos"
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/report"
+	"ntpddos/internal/scenario"
+	"ntpddos/internal/sweep"
+)
+
+// TestMetricsDoNotPerturbFaultPlane is the instrumentation-inertness
+// contract extended to injected chaos: with every fault class armed, the
+// digest must be identical with metrics off and on — drop-cause counters
+// observe the impairment stage without touching its RNG stream — and the
+// instrumented run must expose the per-cause fabric drop family.
+func TestMetricsDoNotPerturbFaultPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := sweepTestConfig()
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+	cfg.Faults = scenario.FaultConfig{
+		Loss: 0.1, Dup: 0.05, Reorder: 0.05, FlapRate: 0.05,
+		FlowSampleN: 4, CollectorOutage: 0.25, SensorBlackout: 0.25,
+	}
+
+	plain := report.Digest(ntpddos.Run(cfg).All())
+
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	instrumented := report.Digest(ntpddos.Run(cfg).All())
+
+	if plain != instrumented {
+		t.Fatalf("instrumentation changed the fault-injected simulation:\n  off: %s\n  on:  %s",
+			plain, instrumented)
+	}
+	text := reg.RenderText()
+	for _, cause := range []string{`cause="loss"`, `cause="flap"`} {
+		if !strings.Contains(text, cause) {
+			t.Fatalf("instrumented chaos run exposed no fabric drops with %s", cause)
+		}
+	}
+	if !strings.Contains(text, "ntpsim_fabric_packets_duplicated_total") {
+		t.Fatal("instrumented chaos run exposed no duplication counter")
+	}
+}
+
+// TestFaultSweepWorkersByteIdentical extends the parallelism wall to the
+// fault-injection plane: a spec with every impairment armed (lossy fabric,
+// sampled NetFlow, collector outage, sensor blackouts) must still produce
+// byte-identical canonical manifests at workers=1 and workers=8. Faults draw
+// from a private RNG stream keyed only by (seed, link, window), so injected
+// chaos is as reproducible as the clean world.
+func TestFaultSweepWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	spec := sweep.Spec{
+		Name:     "chaos",
+		Seeds:    "1-2",
+		Detect:   "on",
+		Loss:     []float64{0.1},
+		Dup:      []float64{0.05},
+		Flap:     []float64{0.05},
+		Sample:   []int{4},
+		Outage:   []float64{0.25},
+		Blackout: []float64{0.25},
+	}
+	jobs, err := spec.Jobs(sweepTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := serial.Failed(); len(failed) > 0 {
+		t.Fatalf("fault-enabled jobs failed: %+v", failed)
+	}
+	if !bytes.Equal(serial.CanonicalJSON(), parallel.CanonicalJSON()) {
+		t.Fatalf("fault-enabled workers=1 and workers=8 manifests differ:\n%s\nvs\n%s",
+			serial.CanonicalJSON(), parallel.CanonicalJSON())
+	}
+}

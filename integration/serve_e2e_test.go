@@ -1,4 +1,4 @@
-package ntpddos
+package integration
 
 import (
 	"bytes"
@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"ntpddos"
 	"ntpddos/internal/serve"
 )
 
@@ -24,18 +25,18 @@ func TestServeManifestMatchesInProcess(t *testing.T) {
 		t.Skip("simulation skipped in -short mode")
 	}
 	base := sweepTestConfig()
-	spec := SweepSpec{Seeds: "1-2"}
+	spec := ntpddos.SweepSpec{Seeds: "1-2"}
 	jobs, err := spec.Jobs(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := Sweep(jobs, SweepOptions{Workers: 2})
+	want, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	for _, workers := range []int{1, 4} {
-		d, err := serve.New(serve.Config{Base: base, Runner: SweepRunner, Workers: workers})
+		d, err := serve.New(serve.Config{Base: base, Runner: ntpddos.SweepRunner, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

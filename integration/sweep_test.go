@@ -1,4 +1,4 @@
-package ntpddos
+package integration
 
 import (
 	"bytes"
@@ -6,14 +6,15 @@ import (
 	"testing"
 	"time"
 
+	"ntpddos"
 	"ntpddos/internal/detect"
 )
 
 // sweepTestConfig is the cheapest full-pipeline world: the window truncates
 // right after the first monlist survey, so every run still renders all 33
 // tables and streams live honeypot events in a few seconds.
-func sweepTestConfig() Config {
-	cfg := QuickConfig()
+func sweepTestConfig() ntpddos.Config {
+	cfg := ntpddos.QuickConfig()
 	cfg.Scale = 4000
 	cfg.End = time.Date(2014, 1, 17, 0, 0, 0, 0, time.UTC)
 	return cfg
@@ -28,12 +29,12 @@ func TestSweepWorkersByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation skipped in -short mode")
 	}
-	jobs := SweepReplicates("par", sweepTestConfig(), 1, 2)
-	serial, err := Sweep(jobs, SweepOptions{Workers: 1})
+	jobs := ntpddos.SweepReplicates("par", sweepTestConfig(), 1, 2)
+	serial, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Sweep(jobs, SweepOptions{Workers: 8})
+	parallel, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestSweepReplicateInvariants(t *testing.T) {
 	cfg.End = time.Date(2014, 2, 1, 0, 0, 0, 0, time.UTC)
 	dcfg := detect.DefaultConfig()
 	cfg.Detector = &dcfg
-	m, err := Sweep(SweepReplicates("prop", cfg, 1, 2, 3, 4), SweepOptions{})
+	m, err := ntpddos.Sweep(ntpddos.SweepReplicates("prop", cfg, 1, 2, 3, 4), ntpddos.SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

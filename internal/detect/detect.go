@@ -99,6 +99,10 @@ type Config struct {
 	// OffsetGap is the silence after which an active victim gets an offset
 	// alarm.
 	OffsetGap time.Duration
+
+	// Vantage degrades the telemetry feeding this detector (packet sampling,
+	// collector outages). The zero value is a perfect vantage; see Vantage.
+	Vantage Vantage
 }
 
 // DefaultConfig returns the paper-threshold calibration.
@@ -135,6 +139,10 @@ type Alarm struct {
 	Count int64
 	// Rate is the EWMA packet-rate estimate (packets/second) at the alarm.
 	Rate float64
+	// Confidence scores the alarm's telemetry quality in [0, 1]: 1 under a
+	// perfect vantage, divided by the 1-in-N sampling rate and scaled by the
+	// live (non-outage) fraction of the victim's observation window.
+	Confidence float64
 }
 
 // HeavyHitter is one top-k row.
@@ -218,6 +226,13 @@ type Detector struct {
 	// lanes is the per-protocol breakdown of the totals above.
 	lanes [numLanes]laneStats
 
+	// Degraded-vantage state: the outage-schedule hash salt, the systematic
+	// sampling phase accumulator, and the export-sequence dedup cursor.
+	vantSalt    uint64
+	samplePhase int64
+	seqExpected uint32
+	seqStarted  bool
+
 	m *Metrics
 }
 
@@ -247,6 +262,7 @@ func New(cfg Config) *Detector {
 		scannerHLL:  sketch.NewHLL(cfg.HLLPrecision, cfg.Seed),
 		victims:     make(map[netaddr.Addr]*victimState),
 		scanners:    netaddr.NewSet(0),
+		vantSalt:    vantMix(cfg.Seed ^ 0xd6e8feb86659fd93),
 	}
 }
 
@@ -336,6 +352,21 @@ func (d *Detector) Observe(dg *packet.Datagram, now time.Time) {
 	rep := dg.Rep
 	if rep <= 0 {
 		rep = 1
+	}
+	if d.cfg.Vantage.Degraded() {
+		if d.darkAt(now) {
+			if d.m != nil {
+				d.m.OutageDropped.Add(rep)
+			}
+			return
+		}
+		orig := rep
+		if rep = d.sampleRep(rep); rep == 0 {
+			if d.m != nil {
+				d.m.SampledOut.Add(orig)
+			}
+			return
+		}
 	}
 	d.packets += rep
 	if d.m != nil {
@@ -440,6 +471,7 @@ func (d *Detector) ingestResponse(lane Lane, amp, victim netaddr.Addr, victimPor
 			Onset: true, Victim: victim, Port: st.port,
 			Vector: st.dominantLane().String(), At: now,
 			Count: st.count, Rate: st.rate,
+			Confidence: d.confidence(st, now),
 		})
 		if d.m != nil {
 			d.m.Onsets.Inc()
@@ -491,12 +523,27 @@ func (d *Detector) offsetDeadline(st *victimState) time.Duration {
 			deadline = max
 		}
 	}
+	// Gap-heavy telemetry: under 1-in-N sampling a live flood can legitimately
+	// fall silent for N× longer between kept batches, so the deadline widens
+	// accordingly (capped at 4× — beyond that an offset estimate says nothing).
+	if n := d.cfg.Vantage.SampleN; n > 1 {
+		widen := n
+		if widen > 4 {
+			widen = 4
+		}
+		deadline *= time.Duration(widen)
+	}
 	return deadline
 }
 
 func (d *Detector) sweep(now time.Time, final bool) {
 	for addr, st := range d.victims {
 		idle := now.Sub(st.last)
+		if d.cfg.Vantage.OutageFraction > 0 {
+			// Dark time is the vantage's silence, not the victim's: subtract
+			// it so a collector outage mid-campaign cannot flap an episode.
+			idle -= d.darkOverlap(st.last, now)
+		}
 		deadline := d.offsetDeadline(st)
 		if st.active && (idle >= deadline || final) {
 			st.active = false
@@ -508,6 +555,7 @@ func (d *Detector) sweep(now time.Time, final bool) {
 				Victim: addr, Port: st.port,
 				Vector: st.dominantLane().String(), At: at,
 				Count: st.count, Rate: st.rate,
+				Confidence: d.confidence(st, now),
 			})
 			if d.m != nil {
 				d.m.Offsets.Inc()

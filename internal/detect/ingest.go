@@ -49,6 +49,20 @@ func (d *Detector) IngestExport(data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Export-sequence dedup: a datagram whose FlowSequence is strictly behind
+	// the expectation is a duplicated or retransmitted export (the fabric's
+	// duplication fault, or a flaky collector path). Folding it again would
+	// double-count every record — the classic duplicate-inflation error that
+	// flips dominant-lane attribution — so it is dropped whole. Ahead-of-
+	// expectation exports (some were lost) resync forward.
+	if d.seqStarted && int32(h.FlowSequence-d.seqExpected) < 0 {
+		if d.m != nil {
+			d.m.DupExports.Inc()
+		}
+		return nil
+	}
+	d.seqStarted = true
+	d.seqExpected = h.FlowSequence + uint32(len(records))
 	exportTime := time.Unix(int64(h.UnixSecs), int64(h.UnixNsecs)).UTC()
 	for _, r := range records {
 		age := time.Duration(h.SysUptimeMs-r.Last) * time.Millisecond
@@ -68,6 +82,13 @@ func (d *Detector) IngestFlow(r netflow.Record, flowEnd time.Time) {
 	}
 	if r.Octets/r.Packets < minReflectedPacketSize {
 		return // legitimate-service chatter, not amplification
+	}
+	if d.cfg.Vantage.OutageFraction > 0 && d.darkAt(flowEnd) {
+		// Collector outage: the flow ended while the vantage was dark.
+		if d.m != nil {
+			d.m.OutageDropped.Add(int64(r.Packets))
+		}
+		return
 	}
 	d.packets += int64(r.Packets)
 	if d.m != nil {
@@ -111,6 +132,7 @@ func (d *Detector) IngestMonEntry(amp netaddr.Addr, e ntp.MonEntry, now time.Tim
 		d.alarms = append(d.alarms, Alarm{
 			Onset: true, Victim: e.Addr, Port: e.Port,
 			Vector: st.dominantLane().String(), At: st.last, Count: st.count,
+			Confidence: d.confidence(st, st.last),
 		})
 		if d.m != nil {
 			d.m.Onsets.Inc()
@@ -144,6 +166,7 @@ func (d *Detector) IngestSensorEvent(victim netaddr.Addr, port uint16, first, la
 		d.alarms = append(d.alarms, Alarm{
 			Onset: true, Victim: victim, Port: port,
 			Vector: st.dominantLane().String(), At: last, Count: st.count,
+			Confidence: d.confidence(st, last),
 		})
 		if d.m != nil {
 			d.m.Onsets.Inc()

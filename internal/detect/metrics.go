@@ -14,6 +14,9 @@ type Metrics struct {
 	ScannersMarked  *metrics.Counter
 	Onsets          *metrics.Counter
 	Offsets         *metrics.Counter
+	SampledOut      *metrics.Counter
+	OutageDropped   *metrics.Counter
+	DupExports      *metrics.Counter
 	Active          *metrics.Gauge
 	Tracked         *metrics.Gauge
 	ScannerEstimate *metrics.Gauge
@@ -38,6 +41,12 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Victim onset alarms raised."),
 		Offsets: r.NewCounter("ntpsim_detect_offset_alarms_total",
 			"Victim offset alarms raised."),
+		SampledOut: r.NewCounter("ntpsim_detect_sampled_out_packets_total",
+			"Rep-weighted packets dropped by 1-in-N vantage sampling."),
+		OutageDropped: r.NewCounter("ntpsim_detect_outage_dropped_packets_total",
+			"Rep-weighted packets dropped during collector outage windows."),
+		DupExports: r.NewCounter("ntpsim_detect_duplicate_exports_total",
+			"NetFlow export datagrams dropped as sequence-behind duplicates."),
 		Active: r.NewGauge("ntpsim_detect_active_victims",
 			"Victims currently between onset and offset."),
 		Tracked: r.NewGauge("ntpsim_detect_tracked_victims",

@@ -1,0 +1,176 @@
+package detect
+
+import (
+	"time"
+
+	"ntpddos/internal/vtime"
+)
+
+// Vantage models the degraded telemetry path between the fabric and this
+// detector: NetFlow-style 1-in-N packet sampling and deterministic collector
+// outage windows. The zero value is a perfect vantage and is provably inert —
+// every gate below is behind a rate check, so an undegraded detector runs the
+// exact instruction sequence it ran before Vantage existed.
+type Vantage struct {
+	// SampleN applies 1-in-N systematic packet sampling to the tap stream.
+	// Kept batches are re-inflated ×N (the standard NetFlow scaling), so
+	// totals stay calibrated while small flows can vanish entirely — exactly
+	// the failure mode that erodes the §4.2 MinCount threshold. 0 or 1 means
+	// unsampled.
+	SampleN int
+	// OutageFraction is the fraction of each OutagePeriod the collector is
+	// dark. Everything observed while dark is dropped; the offset sweep
+	// subtracts dark time from victim idleness so an outage mid-campaign
+	// cannot flap an episode.
+	OutageFraction float64
+	// OutagePeriod is the outage scheduling window. Zero means 6h.
+	OutagePeriod time.Duration
+	// Anchor aligns outage windows; the zero value anchors at the simulation
+	// epoch. Scenarios anchor at their start time.
+	Anchor time.Time
+}
+
+// Degraded reports whether this vantage loses any telemetry.
+func (v Vantage) Degraded() bool { return v.SampleN > 1 || v.OutageFraction > 0 }
+
+func (v Vantage) period() time.Duration {
+	if v.OutagePeriod > 0 {
+		return v.OutagePeriod
+	}
+	return 6 * time.Hour
+}
+
+func (v Vantage) anchorTime() time.Time {
+	if !v.Anchor.IsZero() {
+		return v.Anchor
+	}
+	return vtime.Epoch
+}
+
+// vantMix is a murmur-style finalizer (same mix netsim's pairHash uses) for
+// deriving outage schedules by pure hashing, never RNG draws — the schedule
+// must be a function of (seed, window index) alone so replaying a stream
+// reproduces it exactly.
+func vantMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// vantUnit maps a 64-bit hash onto [0, 1).
+func vantUnit(h uint64) float64 {
+	return float64(h>>11) * 0x1p-53
+}
+
+// darkSpan returns window w's outage placement: the offset of the dark
+// stretch inside the window and its length. The offset is hash-jittered per
+// window so outages don't beat against periodic traffic.
+func (d *Detector) darkSpan(w int64) (off, length time.Duration) {
+	v := d.cfg.Vantage
+	p := v.period()
+	if v.OutageFraction >= 1 {
+		return 0, p
+	}
+	length = time.Duration(v.OutageFraction * float64(p))
+	off = time.Duration(vantUnit(vantMix(uint64(w)*0x9e3779b97f4a7c15^d.vantSalt)) * float64(p-length))
+	return off, length
+}
+
+// windowOf floor-divides a time offset into (window index, remainder).
+func windowOf(since time.Time, anchor time.Time, p time.Duration) (int64, time.Duration) {
+	rel := since.Sub(anchor)
+	w := int64(rel / p)
+	rem := rel % p
+	if rem < 0 {
+		w--
+		rem += p
+	}
+	return w, rem
+}
+
+// darkAt reports whether the collector is inside an outage window at t.
+func (d *Detector) darkAt(t time.Time) bool {
+	v := d.cfg.Vantage
+	if v.OutageFraction <= 0 {
+		return false
+	}
+	w, rem := windowOf(t, v.anchorTime(), v.period())
+	off, length := d.darkSpan(w)
+	return rem >= off && rem < off+length
+}
+
+// darkOverlap returns how much of [from, to] the collector spent dark. The
+// offset sweep subtracts this from victim idleness ("the vantage was blind,
+// not the victim quiet"), and alarm confidence scales by its complement.
+func (d *Detector) darkOverlap(from, to time.Time) time.Duration {
+	v := d.cfg.Vantage
+	if v.OutageFraction <= 0 || !to.After(from) {
+		return 0
+	}
+	p := v.period()
+	anchor := v.anchorTime()
+	w0, _ := windowOf(from, anchor, p)
+	w1, _ := windowOf(to, anchor, p)
+	if w1-w0 > 1<<16 {
+		// Absurdly wide ranges (a backdated first-seen) fall back to the
+		// long-run expectation; still deterministic.
+		return time.Duration(v.OutageFraction * float64(to.Sub(from)))
+	}
+	a, b := from.Sub(anchor), to.Sub(anchor)
+	var total time.Duration
+	for w := w0; w <= w1; w++ {
+		off, length := d.darkSpan(w)
+		ds := time.Duration(w)*p + off
+		de := ds + length
+		lo, hi := ds, de
+		if a > lo {
+			lo = a
+		}
+		if b < hi {
+			hi = b
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// sampleRep applies 1-in-N systematic sampling to a Rep-weighted batch via a
+// phase accumulator (no randomness: the k-th, 2k-th, ... packets of the
+// stream are the kept ones) and re-inflates survivors ×N. Returns 0 when the
+// batch fell entirely between sample points.
+func (d *Detector) sampleRep(rep int64) int64 {
+	n := int64(d.cfg.Vantage.SampleN)
+	if n <= 1 {
+		return rep
+	}
+	d.samplePhase += rep
+	kept := d.samplePhase / n
+	d.samplePhase %= n
+	return kept * n
+}
+
+// confidence scores an alarm's telemetry quality in [0, 1]: 1 under a
+// perfect vantage, divided by the sampling rate and scaled by the live
+// (non-outage) fraction of the victim's observation window.
+func (d *Detector) confidence(st *victimState, now time.Time) float64 {
+	v := d.cfg.Vantage
+	c := 1.0
+	if v.SampleN > 1 {
+		c /= float64(v.SampleN)
+	}
+	if v.OutageFraction > 0 {
+		if window := now.Sub(st.first); window > 0 {
+			live := 1 - float64(d.darkOverlap(st.first, now))/float64(window)
+			if live < 0 {
+				live = 0
+			}
+			c *= live
+		}
+	}
+	return c
+}

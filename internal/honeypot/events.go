@@ -23,6 +23,7 @@ type Metrics struct {
 	FlowKeys           *metrics.Gauge
 	RepliesSent        *metrics.Counter
 	RepliesSuppressed  *metrics.Counter
+	BlackoutDropped    *metrics.Counter
 }
 
 // NewMetrics registers the honeypot family on r (nil r yields no-op metrics).
@@ -46,6 +47,8 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Rep-weighted response packets the sensors emitted (post-RRL)."),
 		RepliesSuppressed: r.NewCounter("ntpsim_honeypot_replies_suppressed_total",
 			"Rep-weighted responses withheld by response-rate limiting."),
+		BlackoutDropped: r.NewCounter("ntpsim_honeypot_blackout_dropped_total",
+			"Rep-weighted packets that arrived at blacked-out sensors."),
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"ntpddos/internal/packet"
 	"ntpddos/internal/reflector"
 	"ntpddos/internal/rng"
+	"ntpddos/internal/vtime"
 )
 
 // DefaultSensors is the fleet size the scenario deploys — the same order of
@@ -54,6 +55,19 @@ type Config struct {
 	RRLRate float64
 	// RRLWindow is the budget refill interval.
 	RRLWindow time.Duration
+
+	// BlackoutFraction models sensor downtime (reboots, upstream filtering,
+	// deployment churn): each sensor is dark for this fraction of every
+	// BlackoutPeriod, phase-shifted per sensor by a pure hash so the fleet
+	// never goes dark in unison. A dark sensor neither answers nor feeds the
+	// event detector. Zero is provably inert — the packet path never reaches
+	// the blackout check's arithmetic.
+	BlackoutFraction float64
+	// BlackoutPeriod is the downtime scheduling window. Zero means 6h.
+	BlackoutPeriod time.Duration
+	// BlackoutAnchor aligns windows; the zero value anchors at the
+	// simulation epoch. Scenarios anchor at their start time.
+	BlackoutAnchor time.Time
 
 	Detector DetectorConfig
 }
@@ -154,6 +168,57 @@ func (f *Fleet) PrimingSeen() int64 {
 	return n
 }
 
+// BlackoutDropped totals the Rep-weighted packets that arrived at dark
+// sensors and were never processed.
+func (f *Fleet) BlackoutDropped() int64 {
+	var n int64
+	for _, s := range f.Sensors {
+		n += s.BlackoutDropped
+	}
+	return n
+}
+
+// hpMix is the murmur-style finalizer used for per-sensor blackout phases —
+// pure hashing, never RNG draws, so sensor downtime is a function of
+// (sensor index, window) alone.
+func hpMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// sensorDark reports whether sensor idx is inside its blackout window at
+// now. Each sensor's dark stretch sits at a hash-derived phase within the
+// period, fixed for that sensor, so coverage degrades smoothly with the
+// fraction instead of collapsing fleet-wide.
+func (f *Fleet) sensorDark(idx int, now time.Time) bool {
+	frac := f.Cfg.BlackoutFraction
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	p := f.Cfg.BlackoutPeriod
+	if p <= 0 {
+		p = 6 * time.Hour
+	}
+	anchor := f.Cfg.BlackoutAnchor
+	if anchor.IsZero() {
+		anchor = vtime.Epoch
+	}
+	rem := now.Sub(anchor) % p
+	if rem < 0 {
+		rem += p
+	}
+	dark := time.Duration(frac * float64(p))
+	off := time.Duration(float64(hpMix(uint64(idx)*0x9e3779b97f4a7c15+1)>>11) * 0x1p-53 * float64(p-dark))
+	return rem >= off && rem < off+dark
+}
+
 // rrlState is one source's budget window.
 type rrlState struct {
 	windowStart time.Time
@@ -177,6 +242,9 @@ type Sensor struct {
 	// RepliesSent / RepliesSuppressed are Rep-weighted RRL accounting.
 	RepliesSent       int64
 	RepliesSuppressed int64
+	// BlackoutDropped counts Rep-weighted packets that arrived while this
+	// sensor was dark.
+	BlackoutDropped int64
 }
 
 func newSensor(f *Fleet, idx int, addr netaddr.Addr, src *rng.Source) *Sensor {
@@ -204,6 +272,17 @@ func newSensor(f *Fleet, idx int, addr netaddr.Addr, src *rng.Source) *Sensor {
 // in harvested reflector lists. Every trigger feeds the fleet's (protocol-
 // agnostic) event detector; every reply is clamped by the same RRL budget.
 func (s *Sensor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
+	if s.fleet.Cfg.BlackoutFraction > 0 && s.fleet.sensorDark(s.Index, now) {
+		rep := dg.Rep
+		if rep <= 0 {
+			rep = 1
+		}
+		s.BlackoutDropped += rep
+		if m := s.fleet.m; m != nil {
+			m.BlackoutDropped.Add(rep)
+		}
+		return
+	}
 	switch dg.UDP.DstPort {
 	case reflector.DNSPort:
 		s.handleDNS(nw, dg, now)

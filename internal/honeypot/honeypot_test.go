@@ -335,3 +335,69 @@ func toCampaigns(in []attackCampaign) []attack.Campaign {
 	}
 	return out
 }
+
+// TestSensorBlackoutDropsAndStaysSilent pins the blackout vantage fault:
+// a fully dark fleet (fraction 1) answers nothing and feeds the detector
+// nothing, while the blackout accounting conserves every arrival. A
+// zero-fraction fleet is untouched.
+func TestSensorBlackoutDropsAndStaysSilent(t *testing.T) {
+	nw, sched := testHarness()
+	cfg := DefaultConfig(4)
+	cfg.BlackoutFraction = 1
+	fleet := NewFleet(cfg, sensorAddrs(4), rng.New(7).Fork("honeypot"))
+	fleet.Register(nw)
+	bot := netaddr.MustParseAddr("198.51.100.50")
+	victim := netaddr.MustParseAddr("203.0.113.80")
+	vcol := &repCollector{}
+	nw.Register(victim, vcol)
+	for b := 0; b < 6; b++ {
+		at := nw.Now().Add(time.Duration(b+1) * 30 * time.Second)
+		sched.At(at, func(time.Time) {
+			nw.SendFrom(bot, spoofedTrigger(victim, 80, fleet.Sensors[0].Addr, 100))
+		})
+	}
+	sched.Drain()
+	if fleet.QueriesSeen() != 0 || fleet.RepliesSent() != 0 || vcol.packets != 0 {
+		t.Fatalf("dark fleet answered: queries=%d replies=%d victim=%d",
+			fleet.QueriesSeen(), fleet.RepliesSent(), vcol.packets)
+	}
+	if fleet.BlackoutDropped() != 600 {
+		t.Fatalf("BlackoutDropped = %d, want 600", fleet.BlackoutDropped())
+	}
+	fleet.Detector.Flush(nw.Now())
+	if evs := fleet.Detector.Events(); len(evs) != 0 {
+		t.Fatalf("dark fleet raised %d events", len(evs))
+	}
+}
+
+// TestSensorBlackoutPhasesDiffer pins the per-sensor hash phase: with a
+// fractional blackout, at least one instant finds some sensors dark and
+// others live, so fleet coverage degrades smoothly instead of in unison.
+func TestSensorBlackoutPhasesDiffer(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.BlackoutFraction = 0.5
+	cfg.BlackoutPeriod = 4 * time.Hour
+	fleet := NewFleet(cfg, sensorAddrs(8), rng.New(7).Fork("honeypot"))
+	mixed := false
+	for step := 0; step < 48 && !mixed; step++ {
+		at := vtime.Epoch.Add(time.Duration(step) * 30 * time.Minute)
+		dark, live := 0, 0
+		for i := range fleet.Sensors {
+			if fleet.sensorDark(i, at) {
+				dark++
+			} else {
+				live++
+			}
+		}
+		if dark > 0 && live > 0 {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Fatal("blackout windows never overlapped partially across the fleet")
+	}
+	// Determinism: the schedule is a pure function of (index, time).
+	if fleet.sensorDark(3, vtime.Epoch.Add(time.Hour)) != fleet.sensorDark(3, vtime.Epoch.Add(time.Hour)) {
+		t.Fatal("sensorDark not deterministic")
+	}
+}

@@ -53,6 +53,10 @@ type Stats struct {
 	Delivered    int64 // packets handed to a registered host
 	Dark         int64 // packets to unregistered addresses (incl. darknet)
 	DroppedSpoof int64 // spoofed packets blocked by BCP38 at the source
+	DroppedLoss  int64 // packets lost in transit by the impairment stage
+	DroppedFlap  int64 // packets swallowed whole by a downed-link flap window
+	Duplicated   int64 // extra in-transit copies materialized by the impairment stage
+	Reordered    int64 // packets detoured onto a slower path (bounded reordering)
 	BytesOnWire  int64 // total on-wire bytes of accepted packets
 }
 
@@ -65,6 +69,7 @@ type Network struct {
 	taps   []Tap
 	stats  Stats
 	m      *Metrics
+	impair *impairState // nil unless SetImpairment armed a nonzero config
 }
 
 // Metrics is the fabric's optional live instrumentation. All counters are
@@ -79,12 +84,22 @@ type Metrics struct {
 	Expired      *metrics.Counter
 	Bytes        *metrics.Counter
 	TapFanout    *metrics.Counter
+	Duplicated   *metrics.Counter
+	Reordered    *metrics.Counter
 	Hosts        *metrics.Gauge
+	// Dropped partitions every in-or-before-transit drop by cause
+	// (spoof | ttl | loss | flap); the legacy unlabeled counters above keep
+	// counting in parallel. Children are pre-resolved for the hot path.
+	Dropped   *metrics.CounterVec
+	dropSpoof *metrics.Counter
+	dropTTL   *metrics.Counter
+	dropLoss  *metrics.Counter
+	dropFlap  *metrics.Counter
 }
 
 // NewMetrics registers the fabric family on r (nil r yields no-op metrics).
 func NewMetrics(r *metrics.Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		Sent: r.NewCounter("ntpsim_fabric_packets_sent_total",
 			"Rep-weighted packets accepted from senders."),
 		Delivered: r.NewCounter("ntpsim_fabric_packets_delivered_total",
@@ -99,9 +114,20 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Rep-weighted on-wire bytes of accepted packets."),
 		TapFanout: r.NewCounter("ntpsim_fabric_tap_observations_total",
 			"Tap Observe calls (one per attached tap per real datagram)."),
+		Duplicated: r.NewCounter("ntpsim_fabric_packets_duplicated_total",
+			"Rep-weighted extra in-transit copies from the impairment stage."),
+		Reordered: r.NewCounter("ntpsim_fabric_packets_reordered_total",
+			"Rep-weighted packets detoured onto a slower path (bounded reordering)."),
 		Hosts: r.NewGauge("ntpsim_fabric_hosts",
 			"Currently registered fabric hosts."),
+		Dropped: r.NewCounterVec("ntpsim_fabric_packets_dropped_total",
+			"Rep-weighted packets dropped in or before transit, by cause.", "cause"),
 	}
+	m.dropSpoof = m.Dropped.With("spoof")
+	m.dropTTL = m.Dropped.With("ttl")
+	m.dropLoss = m.Dropped.With("loss")
+	m.dropFlap = m.Dropped.With("flap")
+	return m
 }
 
 // SetMetrics attaches (or, with nil, detaches) live instrumentation.
@@ -198,6 +224,7 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 		n.stats.DroppedSpoof += rep
 		if n.m != nil {
 			n.m.DroppedSpoof.Add(rep)
+			n.m.dropSpoof.Add(rep)
 		}
 		return false
 	}
@@ -215,9 +242,49 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 	if int(dg.IP.TTL) <= hops {
 		if n.m != nil {
 			n.m.Expired.Add(rep)
+			n.m.dropTTL.Add(rep)
 		}
 		return false // expired in transit
 	}
+
+	dst := dg.IP.Dst
+	latency := PathLatency(origin, dst)
+	var dups int64
+	if st := n.impair; st != nil {
+		// Flap windows swallow the batch whole: the sender saw it leave, so
+		// this (and every in-transit fault below) still returns true.
+		if st.linkDown(origin, dst, n.Now()) {
+			n.stats.DroppedFlap += rep
+			if n.m != nil {
+				n.m.dropFlap.Add(rep)
+			}
+			return true
+		}
+		if lost := st.src.Binomial(rep, st.linkLoss(origin, dst)); lost > 0 {
+			n.stats.DroppedLoss += lost
+			if n.m != nil {
+				n.m.dropLoss.Add(lost)
+			}
+			rep -= lost
+			if rep == 0 {
+				return true
+			}
+		}
+		if dups = st.src.Binomial(rep, st.cfg.Dup); dups > 0 {
+			n.stats.Duplicated += dups
+			if n.m != nil {
+				n.m.Duplicated.Add(dups)
+			}
+		}
+		if st.cfg.Reorder > 0 && st.src.Bool(st.cfg.Reorder) {
+			latency += time.Duration(st.src.Int64N(int64(st.cfg.ReorderDelay))) + time.Millisecond
+			n.stats.Reordered += rep
+			if n.m != nil {
+				n.m.Reordered.Add(rep)
+			}
+		}
+	}
+
 	delivered := *dg // shallow copy; payload sharing is fine, fabric never mutates it
 	delivered.IP.TTL -= uint8(hops)
 	delivered.Rep = rep
@@ -228,25 +295,43 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 	if n.m != nil {
 		n.m.TapFanout.Add(int64(len(n.taps)))
 	}
+	n.deliverAfter(dst, &delivered, rep, latency)
 
-	dst := dg.IP.Dst
-	latency := PathLatency(origin, dst)
-	n.sched.After(latency, func(now time.Time) {
+	if dups > 0 {
+		// Duplicates are real wire packets: taps see them, and they arrive
+		// on their own (slower) schedule.
+		dup := delivered
+		dup.Rep = dups
+		for _, t := range n.taps {
+			t.Observe(&dup, n.Now())
+		}
+		if n.m != nil {
+			n.m.TapFanout.Add(int64(len(n.taps)))
+		}
+		extra := time.Duration(n.impair.src.Int64N(int64(100*time.Millisecond))) + time.Millisecond
+		n.deliverAfter(dst, &dup, dups, latency+extra)
+	}
+	return true
+}
+
+// deliverAfter schedules a datagram copy's arrival: handed to the registered
+// host, or counted dark when nothing answers at dst.
+func (n *Network) deliverAfter(dst netaddr.Addr, cp *packet.Datagram, count int64, after time.Duration) {
+	n.sched.After(after, func(now time.Time) {
 		h, ok := n.hosts[dst]
 		if !ok {
-			n.stats.Dark += rep
+			n.stats.Dark += count
 			if n.m != nil {
-				n.m.Dark.Add(rep)
+				n.m.Dark.Add(count)
 			}
 			return
 		}
-		n.stats.Delivered += rep
+		n.stats.Delivered += count
 		if n.m != nil {
-			n.m.Delivered.Add(rep)
+			n.m.Delivered.Add(count)
 		}
-		h.HandlePacket(n, &delivered, now)
+		h.HandlePacket(n, cp, now)
 	})
-	return true
 }
 
 // SendUDP is a convenience wrapper building and sending a datagram whose IP

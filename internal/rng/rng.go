@@ -99,6 +99,39 @@ func (s *Source) Poisson(mean float64) int {
 	}
 }
 
+// Binomial draws the number of successes among n independent trials each
+// succeeding with probability p. Degenerate inputs (p <= 0, n <= 0, p >= 1)
+// return without consuming any randomness, which is what lets zero-rate
+// fault configurations leave every other stream untouched. Small n uses the
+// exact Bernoulli loop; large n uses the normal approximation, mirroring
+// Poisson above.
+func (s *Source) Binomial(n int64, p float64) int64 {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n > 64 {
+		mean := float64(n) * p
+		k := int64(math.Round(mean + math.Sqrt(mean*(1-p))*s.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		return k
+	}
+	var k int64
+	for i := int64(0); i < n; i++ {
+		if s.Float64() < p {
+			k++
+		}
+	}
+	return k
+}
+
 // Zipf returns a generator of Zipf-distributed values in [0, n) with
 // exponent sExp (>1) — used for rank-concentration effects such as the
 // top-100-ASes-take-75%-of-packets CDF in Figure 5.

@@ -143,6 +143,48 @@ func TestPoissonZeroAndNegative(t *testing.T) {
 	}
 }
 
+func TestBinomialMean(t *testing.T) {
+	s := New(29)
+	for _, tc := range []struct {
+		n int64
+		p float64
+	}{{10, 0.3}, {64, 0.5}, {1000, 0.1}, {100000, 0.01}} {
+		trials := 20000
+		sum := int64(0)
+		for i := 0; i < trials; i++ {
+			k := s.Binomial(tc.n, tc.p)
+			if k < 0 || k > tc.n {
+				t.Fatalf("Binomial(%d, %v) = %d out of range", tc.n, tc.p, k)
+			}
+			sum += k
+		}
+		mean := float64(tc.n) * tc.p
+		got := float64(sum) / float64(trials)
+		if math.Abs(got-mean) > mean*0.05+0.1 {
+			t.Fatalf("Binomial(%d, %v) sample mean = %v, want ~%v", tc.n, tc.p, got, mean)
+		}
+	}
+}
+
+func TestBinomialDegenerateDrawsNothing(t *testing.T) {
+	// The no-draw guarantee is what makes zero-rate fault configs provably
+	// inert: a degenerate Binomial must leave the stream exactly where an
+	// untouched twin's stream is.
+	a, b := New(31), New(31)
+	if a.Binomial(0, 0.5) != 0 || a.Binomial(-4, 0.5) != 0 || a.Binomial(100, 0) != 0 ||
+		a.Binomial(100, -1) != 0 {
+		t.Fatal("degenerate Binomial returned nonzero")
+	}
+	if a.Binomial(7, 1) != 7 || a.Binomial(7, 1.5) != 7 {
+		t.Fatal("Binomial with p>=1 must return n")
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("degenerate Binomial consumed randomness (diverged at draw %d)", i)
+		}
+	}
+}
+
 func TestWeighted(t *testing.T) {
 	s := New(13)
 	counts := [3]int{}

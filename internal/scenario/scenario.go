@@ -126,6 +126,59 @@ type Config struct {
 	PulseWaveShare   float64
 	CarpetBombShare  float64
 	MultiVectorShare float64
+
+	// Faults is the deterministic fault-injection plane: a lossy fabric
+	// (drops, duplicates, reordering, link flaps) plus degraded measurement
+	// vantages (NetFlow sampling, collector outages, honeypot sensor
+	// blackouts). Fabric impairment draws from a private "faults" stream
+	// forked from the seed and vantage schedules are pure hashes, so the
+	// zero value is provably inert: no extra forks, no extra draws, report
+	// digests unchanged.
+	Faults FaultConfig
+}
+
+// FaultConfig groups the fault-injection knobs. Rates are probabilities in
+// [0, 1); durations and counts fall back to sensible defaults when zero.
+type FaultConfig struct {
+	// Loss is the mean per-link drop probability applied to fabric
+	// deliveries (each link hashes a stable factor in [0.5, 1.5)).
+	Loss float64
+	// Dup is the per-packet duplication probability: duplicated batches are
+	// re-delivered after a short extra hashed delay.
+	Dup float64
+	// Reorder is the probability a batch is held back by an extra bounded
+	// delay, arriving after later traffic.
+	Reorder float64
+	// FlapRate is the fraction of (link, window) pairs that are down; flap
+	// windows tile virtual time with period FlapPeriod (default 1h).
+	FlapRate   float64
+	FlapPeriod time.Duration
+
+	// FlowSampleN enables systematic 1-in-N NetFlow sampling at the
+	// detector's vantage (0 or 1 disables); kept packets are re-inflated
+	// and alarm confidence drops to 1/N.
+	FlowSampleN int
+	// CollectorOutage is the dark fraction of each OutagePeriod (default
+	// 6h) during which the detector's collector sees nothing. The detector
+	// knows the schedule and holds episodes across the gaps.
+	CollectorOutage float64
+	OutagePeriod    time.Duration
+
+	// SensorBlackout is the dark fraction of each BlackoutPeriod (default
+	// 6h) during which a honeypot sensor neither answers nor records;
+	// per-sensor phases are hashed so the fleet never goes dark at once.
+	SensorBlackout float64
+	BlackoutPeriod time.Duration
+}
+
+// fabricEnabled reports whether any packet-level impairment is configured.
+func (f FaultConfig) fabricEnabled() bool {
+	return f.Loss > 0 || f.Dup > 0 || f.Reorder > 0 || f.FlapRate > 0
+}
+
+// Enabled reports whether any fault surface is active.
+func (f FaultConfig) Enabled() bool {
+	return f.fabricEnabled() || f.FlowSampleN > 1 || f.CollectorOutage > 0 || f.SensorBlackout > 0
 }
 
 // DefaultConfig is the benchmark configuration.
@@ -316,6 +369,17 @@ func Build(cfg Config) *World {
 		return as == nil || as.AllowsSpoofing
 	}
 	nw := netsim.New(sched, policy)
+	if cfg.Faults.fabricEnabled() {
+		// The impairment stage runs on its own stream forked straight from
+		// the seed, like the honeypot and campaign streams: world draws are
+		// untouched, so a faulty run differs from a clean one only through
+		// the packets it perturbs.
+		nw.SetImpairment(netsim.Impairment{
+			Loss: cfg.Faults.Loss, Dup: cfg.Faults.Dup,
+			Reorder: cfg.Faults.Reorder, FlapRate: cfg.Faults.FlapRate,
+			FlapPeriod: cfg.Faults.FlapPeriod,
+		}, rng.New(cfg.Seed).Fork("faults"))
+	}
 
 	w := &World{
 		Cfg: cfg, Clock: clock, Sched: sched, Net: nw,
@@ -389,6 +453,14 @@ func Build(cfg Config) *World {
 	}
 	if cfg.Detector != nil {
 		dcfg := *cfg.Detector
+		if cfg.Faults.FlowSampleN > 1 || cfg.Faults.CollectorOutage > 0 {
+			dcfg.Vantage = detect.Vantage{
+				SampleN:        cfg.Faults.FlowSampleN,
+				OutageFraction: cfg.Faults.CollectorOutage,
+				OutagePeriod:   cfg.Faults.OutagePeriod,
+				Anchor:         cfg.Start,
+			}
+		}
 		if dcfg.Seed == 0 {
 			// The detector draws no randomness, but its sketch hashing is
 			// keyed; fork the key from the seed on a private stream so the
@@ -447,6 +519,12 @@ func (w *World) placeSensors() {
 		seen.Add(addr)
 		addrs = append(addrs, addr)
 	}
-	w.Honeypots = honeypot.NewFleet(honeypot.DefaultConfig(len(addrs)), addrs, w.hpSrc.Fork("fleet"))
+	hcfg := honeypot.DefaultConfig(len(addrs))
+	if w.Cfg.Faults.SensorBlackout > 0 {
+		hcfg.BlackoutFraction = w.Cfg.Faults.SensorBlackout
+		hcfg.BlackoutPeriod = w.Cfg.Faults.BlackoutPeriod
+		hcfg.BlackoutAnchor = w.Cfg.Start
+	}
+	w.Honeypots = honeypot.NewFleet(hcfg, addrs, w.hpSrc.Fork("fleet"))
 	w.Honeypots.Register(w.Net)
 }

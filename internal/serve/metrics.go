@@ -8,6 +8,7 @@ import (
 // nil-safe: with no Registry configured, all of this no-ops.
 type daemonMetrics struct {
 	jobsSubmitted *metrics.Counter
+	jobsRecovered *metrics.Counter
 	jobsByState   *metrics.GaugeVec
 	admission     *metrics.CounterVec
 	httpSeconds   *metrics.HistogramVec
@@ -25,6 +26,8 @@ func newDaemonMetrics(r *metrics.Registry, d *Daemon) *daemonMetrics {
 	m := &daemonMetrics{
 		jobsSubmitted: r.NewCounter("ntpserved_jobs_submitted_total",
 			"Jobs admitted past rate limiting and queue admission."),
+		jobsRecovered: r.NewCounter("ntpserved_jobs_recovered_total",
+			"Jobs re-admitted from crash-safe checkpoints at startup."),
 		jobsByState: r.NewGaugeVec("ntpserved_jobs",
 			"Jobs currently in each lifecycle state.", "state"),
 		admission: r.NewCounterVec("ntpserved_admission_rejected_total",

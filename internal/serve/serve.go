@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -88,6 +89,18 @@ type Config struct {
 	MaxClients int
 	// JobTimeout is the default per-job timeout (0 = none).
 	JobTimeout time.Duration
+	// CheckpointDir, when set, enables crash-safe job checkpoints: every
+	// admitted job gets an ndjson file recording its spec and each landed
+	// sub-job, and a restarted daemon re-admits interrupted jobs with the
+	// completed sub-jobs precompleted — the resumed manifest is
+	// byte-identical to an uninterrupted run. Empty disables persistence.
+	CheckpointDir string
+	// MaxRetries re-executes a failed sub-job (runner error, panic, or
+	// injected fault) up to this many times before its error lands in the
+	// manifest; RetryDelay is the first backoff, doubling per attempt and
+	// capped at 30s (0 retries immediately).
+	MaxRetries int
+	RetryDelay time.Duration
 	// WatchInterval is the progress-stream poll period (default 500ms).
 	WatchInterval time.Duration
 	// Registry, when non-nil, attaches instrumentation and mounts
@@ -152,6 +165,11 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
+	}
 	d := &Daemon{
 		cfg:     cfg,
 		store:   newStore(cfg.RetainJobs),
@@ -165,8 +183,12 @@ func New(cfg Config) (*Daemon, error) {
 	return d, nil
 }
 
-// Start launches the job workers and flips readiness to healthy.
+// Start recovers checkpointed jobs from a previous process, launches the
+// job workers, and flips readiness to healthy.
 func (d *Daemon) Start() {
+	if d.cfg.CheckpointDir != "" {
+		d.recoverJobs()
+	}
 	for w := 0; w < d.cfg.Concurrency; w++ {
 		d.wg.Add(1)
 		go func() {
@@ -267,6 +289,7 @@ func (d *Daemon) submit(client string, spec JobSpec, jobs []sweep.Job) (*job, *a
 		}
 	}
 	j := d.store.add(client, spec, jobs, workers, d.cfg.now())
+	d.openJobCheckpoint(j)
 	select {
 	case d.queue <- j:
 		d.met.jobsSubmitted.Inc()
@@ -274,6 +297,10 @@ func (d *Daemon) submit(client string, spec JobSpec, jobs []sweep.Job) (*job, *a
 		return j, nil
 	default:
 		// Queue saturated: undo the store registration and shed load.
+		if j.ckpt != nil {
+			j.ckpt.close()
+			os.Remove(d.checkpointPath(j.id))
+		}
 		d.store.drop(j)
 		retry := d.retryAfterLocked()
 		return nil, &admissionError{
@@ -319,6 +346,7 @@ func (d *Daemon) runJob(j *job) {
 	defer func() {
 		if r := recover(); r != nil {
 			d.store.finish(j, StateFailed, nil, fmt.Sprintf("panic: %v", r), d.cfg.now())
+			d.releaseCheckpoint(j)
 			d.logf("job %s PANIC: %v", j.id, r)
 		}
 	}()
@@ -338,14 +366,22 @@ func (d *Daemon) runJob(j *job) {
 	defer cancel()
 
 	if !d.store.begin(j, cancel, d.cfg.now()) {
-		return // canceled while queued
+		d.releaseCheckpoint(j) // canceled while queued
+		return
 	}
-	d.logf("job %s running: %d sub-jobs", j.id, len(j.jobs))
+	d.logf("job %s running: %d sub-jobs (%d precompleted)", j.id, len(j.jobs), len(j.pre))
 	start := time.Now()
 	m, err := sweep.RunContext(ctx, j.jobs, d.cfg.Runner, sweep.Options{
-		Workers:  j.workers,
-		Metrics:  d.swMet,
-		Progress: func(completed, total int) { d.store.progress(j, completed) },
+		Workers:      j.workers,
+		Metrics:      d.swMet,
+		MaxRetries:   d.cfg.MaxRetries,
+		RetryDelay:   d.cfg.RetryDelay,
+		Precompleted: j.pre,
+		Progress:     func(completed, total int) { d.store.progress(j, completed) },
+		OnResult: func(idx int, rec sweep.JobRecord) {
+			d.store.addRetries(j, rec.Retries)
+			j.ckpt.append(rec)
+		},
 	})
 	wall := time.Since(start)
 	d.observeJobWall(wall)
@@ -370,6 +406,7 @@ func (d *Daemon) runJob(j *job) {
 		d.store.finish(j, StateFailed, m, err.Error(), now)
 		d.logf("job %s failed: %v", j.id, err)
 	}
+	d.releaseCheckpoint(j)
 }
 
 func (d *Daemon) logf(format string, args ...any) {

@@ -45,6 +45,12 @@ type JobStatus struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+	// Retries counts sub-job re-executions absorbed so far (self-healing
+	// accounting; a clean job reports none).
+	Retries int `json:"retries,omitempty"`
+	// Recovered marks a job re-admitted from a crash-safe checkpoint after
+	// a daemon restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // job is the daemon-internal job record. All fields are guarded by the
@@ -66,6 +72,13 @@ type job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	retries   int
+	recovered bool
+	// pre seeds the sweep with sub-jobs a previous process completed; ckpt
+	// persists newly landed ones. Both are set before the job is enqueued
+	// and only read by the executing worker, so neither needs the mutex.
+	pre  map[int]sweep.JobRecord
+	ckpt *ckptWriter
 }
 
 // store holds every live and recently finished job. It bounds memory by
@@ -113,6 +126,44 @@ func (s *store) add(client string, spec JobSpec, jobs []sweep.Job, workers int, 
 	return j
 }
 
+// addRecovered re-registers a checkpointed job from a previous process
+// under its original ID, advancing the sequence counter past it so new
+// submissions never collide.
+func (s *store) addRecovered(id, client string, spec JobSpec, jobs []sweep.Job, workers int, submitted time.Time) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := seqOf(id); n > s.seq {
+		s.seq = n
+	}
+	j := &job{
+		id:        id,
+		client:    client,
+		spec:      spec,
+		jobs:      jobs,
+		workers:   workers,
+		state:     StateQueued,
+		submitted: submitted,
+		recovered: true,
+	}
+	s.byID[j.id] = j
+	s.order = append(s.order, j)
+	if s.onState != nil {
+		s.onState("", StateQueued)
+	}
+	s.evictLocked()
+	return j
+}
+
+// addRetries folds one landed sub-job's retry count into the job total.
+func (s *store) addRetries(j *job, n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.retries += n
+}
+
 // evictLocked drops the oldest terminal jobs past the retain bound.
 func (s *store) evictLocked() {
 	terminal := 0
@@ -158,7 +209,7 @@ func (s *store) begin(j *job, cancel context.CancelFunc, now time.Time) bool {
 	s.transitionLocked(j, StateRunning)
 	j.started = now
 	j.cancel = cancel
-	j.completed = 0
+	j.completed = len(j.pre) // precompleted slots count from the start
 	return true
 }
 
@@ -268,6 +319,8 @@ func (s *store) statusLocked(j *job) JobStatus {
 		Progress:  Progress{Completed: j.completed, Total: len(j.jobs)},
 		Error:     j.errMsg,
 		Submitted: j.submitted,
+		Retries:   j.retries,
+		Recovered: j.recovered,
 	}
 	st.Digest = j.digest
 	if !j.started.IsZero() {

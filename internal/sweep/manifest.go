@@ -22,6 +22,11 @@ type JobRecord struct {
 	Digest     string             `json:"digest,omitempty"`
 	Values     map[string]float64 `json:"values,omitempty"`
 	Err        string             `json:"error,omitempty"`
+	// Retries counts re-executions this record absorbed before landing.
+	// omitempty keeps clean-run manifests byte-identical to the pre-retry
+	// format; a deterministic runner fails (and so retries) identically at
+	// every worker count, preserving the parallelism-invariance pin.
+	Retries int `json:"retries,omitempty"`
 }
 
 // GroupSummary is the cross-run spread of one metric within one experiment

@@ -13,7 +13,9 @@ import (
 
 // Spec is the declarative sweep description: seed ranges, a Scale ladder,
 // a window truncation, and the grid knobs (detector ablation, BCP38 spoofer
-// fractions, remediation-hazard multipliers, no-remediation counterfactual).
+// fractions, remediation-hazard multipliers, no-remediation counterfactual,
+// and the fault-injection plane's loss/dup/reorder/flap/sample/outage/
+// blackout dimensions).
 // It is the JSON job-spec format the serving layer accepts over HTTP and
 // the surface cmd/ntpsweep's flags compile to, so a job submitted to
 // ntpserved expands into exactly the jobs the CLI would run.
@@ -47,6 +49,22 @@ type Spec struct {
 	Carpet []float64 `json:"carpet,omitempty"`
 	// Multi lists multi-vector campaign shares in [0,1].
 	Multi []float64 `json:"multi,omitempty"`
+	// Loss lists fabric packet-loss rates in [0,1) — the fault-injection
+	// plane's primary knob for detection-degradation curves.
+	Loss []float64 `json:"loss,omitempty"`
+	// Dup lists fabric duplication rates in [0,1).
+	Dup []float64 `json:"dup,omitempty"`
+	// Reorder lists fabric reordering rates in [0,1).
+	Reorder []float64 `json:"reorder,omitempty"`
+	// Flap lists link-flap dark fractions in [0,1).
+	Flap []float64 `json:"flap,omitempty"`
+	// Sample lists NetFlow 1-in-N sampling strides (each at least 1;
+	// 1 means every export is seen).
+	Sample []int `json:"sample,omitempty"`
+	// Outage lists NetFlow collector dark fractions in [0,1).
+	Outage []float64 `json:"outage,omitempty"`
+	// Blackout lists honeypot sensor blackout fractions in [0,1).
+	Blackout []float64 `json:"blackout,omitempty"`
 }
 
 // NumJobs returns how many jobs the spec expands to, without building
@@ -65,10 +83,16 @@ func (s Spec) NumJobs() (int, error) {
 			n *= 2
 		}
 	}
-	for _, vals := range [][]float64{s.Spoof, s.Hazard, s.Pulse, s.Carpet, s.Multi} {
+	for _, vals := range [][]float64{
+		s.Spoof, s.Hazard, s.Pulse, s.Carpet, s.Multi,
+		s.Loss, s.Dup, s.Reorder, s.Flap, s.Outage, s.Blackout,
+	} {
 		if len(vals) > 0 {
 			n *= len(vals)
 		}
+	}
+	if len(s.Sample) > 0 {
+		n *= len(s.Sample)
 	}
 	return n, nil
 }
@@ -162,6 +186,42 @@ func (s Spec) Grid(base scenario.Config) (Grid, error) {
 			}
 		}
 		g.Knobs = append(g.Knobs, Knob{Name: share.name, Values: FloatKnob(share.vals, share.set)})
+	}
+	for _, rate := range []struct {
+		name string
+		vals []float64
+		set  func(*scenario.Config, float64)
+	}{
+		{"loss", s.Loss, func(c *scenario.Config, v float64) { c.Faults.Loss = v }},
+		{"dup", s.Dup, func(c *scenario.Config, v float64) { c.Faults.Dup = v }},
+		{"reorder", s.Reorder, func(c *scenario.Config, v float64) { c.Faults.Reorder = v }},
+		{"flap", s.Flap, func(c *scenario.Config, v float64) { c.Faults.FlapRate = v }},
+		{"outage", s.Outage, func(c *scenario.Config, v float64) { c.Faults.CollectorOutage = v }},
+		{"blackout", s.Blackout, func(c *scenario.Config, v float64) { c.Faults.SensorBlackout = v }},
+	} {
+		if len(rate.vals) == 0 {
+			continue
+		}
+		for i, v := range rate.vals {
+			if v < 0 || v >= 1 {
+				return g, fmt.Errorf("bad %s[%d] %v: rate must be within [0,1)", rate.name, i, v)
+			}
+		}
+		g.Knobs = append(g.Knobs, Knob{Name: rate.name, Values: FloatKnob(rate.vals, rate.set)})
+	}
+	if len(s.Sample) > 0 {
+		vals := make([]KnobValue, 0, len(s.Sample))
+		for i, n := range s.Sample {
+			if n < 1 {
+				return g, fmt.Errorf("bad sample[%d] %d: sampling stride must be at least 1", i, n)
+			}
+			n := n
+			vals = append(vals, KnobValue{
+				Label: strconv.Itoa(n),
+				Apply: func(c *scenario.Config) { c.Faults.FlowSampleN = n },
+			})
+		}
+		g.Knobs = append(g.Knobs, Knob{Name: "sample", Values: vals})
 	}
 	return g, nil
 }

@@ -191,6 +191,46 @@ func TestSpecGridShapes(t *testing.T) {
 	if jobs[0].Cfg.PulseWaveShare != 0 {
 		t.Fatalf("pulse=0 cell leaked a share: %v", jobs[0].Cfg.PulseWaveShare)
 	}
+
+	// Fault knobs expand the grid and land on Config.Faults.
+	g, err = Spec{
+		Seeds:    "1",
+		Loss:     []float64{0, 0.1},
+		Dup:      []float64{0.05},
+		Reorder:  []float64{0.02},
+		Flap:     []float64{0.25},
+		Sample:   []int{1, 16},
+		Outage:   []float64{0.5},
+		Blackout: []float64{0.3},
+	}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = g.Jobs()
+	if len(jobs) != 4 { // loss{0,0.1} x sample{1,16}
+		t.Fatalf("fault grid expanded %d jobs, want 4", len(jobs))
+	}
+	j = jobs[3]
+	if j.ID != "loss=0.1/dup=0.05/reorder=0.02/flap=0.25/outage=0.5/blackout=0.3/sample=16/seed=1" {
+		t.Fatalf("fault job ID = %q", j.ID)
+	}
+	f := j.Cfg.Faults
+	if f.Loss != 0.1 || f.Dup != 0.05 || f.Reorder != 0.02 || f.FlapRate != 0.25 ||
+		f.FlowSampleN != 16 || f.CollectorOutage != 0.5 || f.SensorBlackout != 0.3 {
+		t.Fatalf("fault knobs not applied: %+v", f)
+	}
+	if fz := jobs[0].Cfg.Faults; fz.Loss != 0 || fz.FlowSampleN != 1 {
+		t.Fatalf("zero-fault cell leaked: %+v", fz)
+	}
+
+	// A spec with no fault knobs leaves Faults zero — the provably-inert path.
+	g, err = Spec{Seeds: "1"}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := g.Jobs()[0].Cfg.Faults; f.Enabled() {
+		t.Fatalf("fault-free spec armed the fault plane: %+v", f)
+	}
 }
 
 // TestSpecRejectsBadFieldsWithValue walks every validation branch in
@@ -222,6 +262,20 @@ func TestSpecRejectsBadFieldsWithValue(t *testing.T) {
 		{"carpet above one", Spec{Seeds: "1", Carpet: []float64{2}}, "carpet[0] 2"},
 		{"multi negative", Spec{Seeds: "1", Multi: []float64{-0.01}}, "multi[0] -0.01"},
 		{"multi above one", Spec{Seeds: "1", Multi: []float64{1.01}}, "multi[0] 1.01"},
+		{"loss negative", Spec{Seeds: "1", Loss: []float64{-0.1}}, "loss[0] -0.1"},
+		{"loss at one", Spec{Seeds: "1", Loss: []float64{0.1, 1}}, "loss[1] 1"},
+		{"dup negative", Spec{Seeds: "1", Dup: []float64{-0.5}}, "dup[0] -0.5"},
+		{"dup above one", Spec{Seeds: "1", Dup: []float64{1.5}}, "dup[0] 1.5"},
+		{"reorder negative", Spec{Seeds: "1", Reorder: []float64{-0.01}}, "reorder[0] -0.01"},
+		{"reorder at one", Spec{Seeds: "1", Reorder: []float64{1}}, "reorder[0] 1"},
+		{"flap negative", Spec{Seeds: "1", Flap: []float64{-1}}, "flap[0] -1"},
+		{"flap at one", Spec{Seeds: "1", Flap: []float64{1}}, "flap[0] 1"},
+		{"sample zero", Spec{Seeds: "1", Sample: []int{4, 0}}, "sample[1] 0"},
+		{"sample negative", Spec{Seeds: "1", Sample: []int{-2}}, "sample[0] -2"},
+		{"outage negative", Spec{Seeds: "1", Outage: []float64{-0.25}}, "outage[0] -0.25"},
+		{"outage at one", Spec{Seeds: "1", Outage: []float64{1}}, "outage[0] 1"},
+		{"blackout negative", Spec{Seeds: "1", Blackout: []float64{-0.3}}, "blackout[0] -0.3"},
+		{"blackout at one", Spec{Seeds: "1", Blackout: []float64{1}}, "blackout[0] 1"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

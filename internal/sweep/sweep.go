@@ -78,6 +78,29 @@ type Options struct {
 	// the hook the serving layer uses to stream per-job progress. Calls are
 	// sequential; nothing observed here may feed back into the manifest.
 	Progress func(completed, total int)
+	// OnResult, when non-nil, is called from the collector goroutine with
+	// each landed record (precompleted slots excluded), in completion order.
+	// Calls are sequential; the serving layer appends them to its crash-safe
+	// checkpoint. Nothing observed here may feed back into the manifest.
+	OnResult func(idx int, rec JobRecord)
+
+	// MaxRetries is how many times a failed job (runner error or panic) is
+	// re-executed before its error lands in the manifest. Worlds are fully
+	// isolated, so a retry is simply a fresh run; a job that succeeds on
+	// attempt k records Retries = k-1. 0 disables retries.
+	MaxRetries int
+	// RetryDelay is the backoff before the first retry; it doubles per
+	// subsequent attempt and is capped at 30s. 0 retries immediately.
+	RetryDelay time.Duration
+	// Sleep replaces time.Sleep for backoff waits (tests inject a recorder).
+	Sleep func(time.Duration)
+
+	// Precompleted seeds manifest slots with already-finished records (by
+	// job index): those jobs are never dispatched and count as completed
+	// from the start. This is the resume half of the serving layer's
+	// checkpointing — a restarted sweep re-runs only what is missing. Each
+	// record's ID must match the job at its index.
+	Precompleted map[int]JobRecord
 }
 
 // Metrics is the sweep engine's live instrumentation.
@@ -85,6 +108,7 @@ type Metrics struct {
 	JobsStarted   *metrics.Counter
 	JobsCompleted *metrics.Counter
 	JobsFailed    *metrics.Counter
+	JobsRetried   *metrics.Counter
 	WorkersBusy   *metrics.Gauge
 	JobSeconds    *metrics.Histogram
 }
@@ -98,6 +122,8 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Sweep jobs that finished, successfully or not."),
 		JobsFailed: r.NewCounter("ntpsweep_jobs_failed_total",
 			"Sweep jobs whose runner returned an error or panicked."),
+		JobsRetried: r.NewCounter("ntpsweep_jobs_retried_total",
+			"Re-executions of failed sweep jobs."),
 		WorkersBusy: r.NewGauge("ntpsweep_workers_busy",
 			"Workers currently executing a job."),
 		JobSeconds: r.NewHistogram("ntpsweep_job_wall_seconds",
@@ -146,12 +172,22 @@ func RunContext(ctx context.Context, jobs []Job, run Runner, opt Options) (*Mani
 		}
 		seen[j.ID] = true
 	}
+	for idx, rec := range opt.Precompleted {
+		if idx < 0 || idx >= len(jobs) {
+			return nil, fmt.Errorf("sweep: precompleted index %d out of range", idx)
+		}
+		if rec.ID != jobs[idx].ID {
+			return nil, fmt.Errorf("sweep: precompleted record %d is %q, job is %q",
+				idx, rec.ID, jobs[idx].ID)
+		}
+	}
+	remaining := len(jobs) - len(opt.Precompleted)
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > remaining {
+		workers = remaining
 	}
 	if workers < 1 {
 		workers = 1
@@ -165,7 +201,7 @@ func RunContext(ctx context.Context, jobs []Job, run Runner, opt Options) (*Mani
 		go func() {
 			defer wg.Done()
 			for idx := range queue {
-				out <- execute(jobs[idx], idx, run, opt.Metrics)
+				out <- execute(jobs[idx], idx, run, opt)
 			}
 		}()
 	}
@@ -176,6 +212,9 @@ func RunContext(ctx context.Context, jobs []Job, run Runner, opt Options) (*Mani
 		// slots. In-flight jobs are never killed — isolation means the only
 		// thing cancellation can skip is work not yet started.
 		for i := range jobs {
+			if _, pre := opt.Precompleted[i]; pre {
+				continue
+			}
 			select {
 			case queue <- i:
 			case <-ctx.Done():
@@ -199,10 +238,18 @@ func RunContext(ctx context.Context, jobs []Job, run Runner, opt Options) (*Mani
 		timings: make(map[string]time.Duration, len(jobs)),
 	}
 	completed := 0
+	for idx, rec := range opt.Precompleted {
+		rec.Index = idx
+		m.Jobs[idx] = rec
+		completed++
+	}
 	for d := range out {
 		m.Jobs[d.idx] = d.rec
 		m.timings[d.rec.ID] = d.wall
 		completed++
+		if opt.OnResult != nil {
+			opt.OnResult(d.idx, d.rec)
+		}
 		if opt.Log != nil {
 			status := "ok"
 			if d.rec.Err != "" {
@@ -243,14 +290,58 @@ func RunContext(ctx context.Context, jobs []Job, run Runner, opt Options) (*Mani
 	return m, nil
 }
 
-// execute runs one job, translating errors and panics into the record.
-func execute(j Job, idx int, run Runner, m *Metrics) done {
+// maxBackoff caps the doubling retry delay.
+const maxBackoff = 30 * time.Second
+
+// backoff returns the wait before retry number n (1-based): RetryDelay
+// doubled per prior retry, capped at maxBackoff.
+func backoff(base time.Duration, n int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= maxBackoff {
+			return maxBackoff
+		}
+	}
+	if d > maxBackoff {
+		return maxBackoff
+	}
+	return d
+}
+
+// execute runs one job — retrying failures up to opt.MaxRetries times with
+// capped exponential backoff — and translates errors and panics into the
+// record. Worlds are isolated, so a retry is simply a fresh run.
+func execute(j Job, idx int, run Runner, opt Options) done {
+	m := opt.Metrics
 	if m != nil {
 		m.JobsStarted.Inc()
 		m.WorkersBusy.Inc()
 	}
+	sleep := opt.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
 	start := time.Now()
-	res, err := runSafely(run, j)
+	var res Result
+	var err error
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		res, err = runSafely(run, j)
+		if err == nil || attempt >= opt.MaxRetries {
+			break
+		}
+		retries++
+		if m != nil {
+			m.JobsRetried.Inc()
+		}
+		if d := backoff(opt.RetryDelay, retries); d > 0 {
+			sleep(d)
+		}
+	}
 	wall := time.Since(start)
 	if m != nil {
 		m.WorkersBusy.Dec()
@@ -267,6 +358,7 @@ func execute(j Job, idx int, run Runner, m *Metrics) done {
 		Params:     j.Params,
 		Seed:       j.Cfg.Seed,
 		Scale:      j.Cfg.Scale,
+		Retries:    retries,
 	}
 	if err != nil {
 		rec.Err = err.Error()

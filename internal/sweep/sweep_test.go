@@ -10,6 +10,7 @@ import (
 	"math"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -350,6 +351,191 @@ func TestRunContextCompletedBeforeCancel(t *testing.T) {
 	}
 	if len(m.Failed()) != 0 {
 		t.Fatalf("failures: %v", m.Failed())
+	}
+}
+
+// TestRetriesHealFlakyJobs pins the self-healing contract: a job failing
+// (or panicking) on its first attempts succeeds within MaxRetries, records
+// its retry count, and backs off with capped doubling delays via the
+// injected sleeper. A job that exhausts its budget lands with its error.
+func TestRetriesHealFlakyJobs(t *testing.T) {
+	jobs := fakeJobs(4)
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	var slept []time.Duration
+	runner := func(j Job) (Result, error) {
+		mu.Lock()
+		attempts[j.ID]++
+		n := attempts[j.ID]
+		mu.Unlock()
+		switch j.ID {
+		case "job-01": // heals on attempt 3
+			if n < 3 {
+				return Result{}, fmt.Errorf("flaky attempt %d", n)
+			}
+		case "job-02": // panics once, heals on attempt 2
+			if n < 2 {
+				panic("transient")
+			}
+		case "job-03": // never heals
+			return Result{}, errors.New("hard failure")
+		}
+		return fakeRunner(j)
+	}
+	reg := metrics.NewRegistry()
+	sm := NewMetrics(reg)
+	m, err := Run(jobs, runner, Options{
+		Workers: 1, MaxRetries: 2, RetryDelay: time.Millisecond, Metrics: sm,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRetries := []int{0, 2, 1, 2}
+	for i, rec := range m.Jobs {
+		if rec.Retries != wantRetries[i] {
+			t.Fatalf("job %d retries = %d, want %d (%+v)", i, rec.Retries, wantRetries[i], rec)
+		}
+	}
+	if m.Jobs[1].Err != "" || m.Jobs[2].Err != "" {
+		t.Fatalf("healed jobs kept errors: %q / %q", m.Jobs[1].Err, m.Jobs[2].Err)
+	}
+	if m.Jobs[3].Err != "hard failure" {
+		t.Fatalf("exhausted job error = %q", m.Jobs[3].Err)
+	}
+	if got := sm.JobsRetried.Value(); got != 5 {
+		t.Fatalf("jobs retried metric = %d, want 5", got)
+	}
+	if got := sm.JobsFailed.Value(); got != 1 {
+		t.Fatalf("jobs failed metric = %d, want 1 (only the exhausted job)", got)
+	}
+	// Workers=1 runs jobs in order; each job's backoff restarts at the base
+	// and doubles: job-01 sleeps 1ms,2ms; job-02 1ms; job-03 1ms,2ms.
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond,
+		time.Millisecond,
+		time.Millisecond, 2 * time.Millisecond,
+	}
+	if len(slept) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+func TestBackoffCaps(t *testing.T) {
+	if d := backoff(0, 5); d != 0 {
+		t.Fatalf("zero base slept %v", d)
+	}
+	if d := backoff(time.Second, 1); d != time.Second {
+		t.Fatalf("first retry = %v, want 1s", d)
+	}
+	if d := backoff(time.Second, 4); d != 8*time.Second {
+		t.Fatalf("fourth retry = %v, want 8s", d)
+	}
+	if d := backoff(time.Second, 40); d != maxBackoff {
+		t.Fatalf("deep retry = %v, want cap %v", d, maxBackoff)
+	}
+	if d := backoff(time.Minute, 1); d != maxBackoff {
+		t.Fatalf("huge base = %v, want cap %v", d, maxBackoff)
+	}
+}
+
+// TestPrecompletedSkipsAndMatchesCleanRun pins the resume contract: slots
+// seeded from a checkpoint are never re-dispatched, count as completed from
+// the start, and the resumed manifest is byte-identical to an uninterrupted
+// run of the same job set.
+func TestPrecompletedSkipsAndMatchesCleanRun(t *testing.T) {
+	jobs := fakeJobs(8)
+	clean, err := Run(jobs, fakeRunner, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := map[int]JobRecord{0: clean.Jobs[0], 3: clean.Jobs[3], 7: clean.Jobs[7]}
+	var mu sync.Mutex
+	ran := map[string]bool{}
+	counting := func(j Job) (Result, error) {
+		mu.Lock()
+		ran[j.ID] = true
+		mu.Unlock()
+		return fakeRunner(j)
+	}
+	var progress []int
+	resumed, err := Run(jobs, counting, Options{
+		Workers: 2, Precompleted: pre,
+		Progress: func(completed, total int) {
+			if total != len(jobs) {
+				t.Errorf("progress total = %d, want %d", total, len(jobs))
+			}
+			progress = append(progress, completed)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range pre {
+		if ran[jobs[idx].ID] {
+			t.Fatalf("precompleted job %q was re-dispatched", jobs[idx].ID)
+		}
+	}
+	if len(ran) != len(jobs)-len(pre) {
+		t.Fatalf("ran %d jobs, want %d", len(ran), len(jobs)-len(pre))
+	}
+	if string(resumed.CanonicalJSON()) != string(clean.CanonicalJSON()) {
+		t.Fatalf("resumed manifest differs from clean run:\n%s\nvs\n%s",
+			resumed.CanonicalJSON(), clean.CanonicalJSON())
+	}
+	// Progress starts past the precompleted count and reaches the total.
+	if len(progress) != len(jobs)-len(pre) || progress[0] != len(pre)+1 ||
+		progress[len(progress)-1] != len(jobs) {
+		t.Fatalf("progress sequence %v", progress)
+	}
+}
+
+func TestPrecompletedValidation(t *testing.T) {
+	jobs := fakeJobs(2)
+	_, err := Run(jobs, fakeRunner, Options{
+		Precompleted: map[int]JobRecord{5: {ID: "job-05"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range precompleted index accepted: %v", err)
+	}
+	_, err = Run(jobs, fakeRunner, Options{
+		Precompleted: map[int]JobRecord{0: {ID: "not-this-job"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "not-this-job") {
+		t.Fatalf("mismatched precompleted record accepted: %v", err)
+	}
+}
+
+// TestOnResultStreamsLandedRecords pins the checkpoint feed: one sequential
+// call per executed job (precompleted slots excluded) carrying the record
+// that landed in the manifest.
+func TestOnResultStreamsLandedRecords(t *testing.T) {
+	jobs := fakeJobs(6)
+	pre := map[int]JobRecord{2: {Index: 2, ID: "job-02", Digest: "cached"}}
+	got := map[int]JobRecord{}
+	m, err := Run(jobs, fakeRunner, Options{
+		Workers: 3, Precompleted: pre,
+		OnResult: func(idx int, rec JobRecord) { got[idx] = rec },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("OnResult called for %d jobs, want 5", len(got))
+	}
+	if _, ok := got[2]; ok {
+		t.Fatal("OnResult fired for a precompleted slot")
+	}
+	for idx, rec := range got {
+		if m.Jobs[idx].Digest != rec.Digest || rec.ID != jobs[idx].ID {
+			t.Fatalf("OnResult record %d diverges from manifest: %+v vs %+v",
+				idx, rec, m.Jobs[idx])
+		}
 	}
 }
 
