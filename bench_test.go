@@ -344,6 +344,33 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkTimeSyncWorld measures the cost of the disciplined-client plane
+// on a reduced world: baseline with the plane off, with a 16-client fleet
+// polling its dedicated stratum-2 servers, and with the time-integrity
+// attack plane armed against half the fleet. The deltas are the plane's
+// whole bill — mode-3/4 traffic, the clock filter, and (attacked) the
+// interceptors and spoofed bursts — since the classic tables are pinned
+// byte-identical either way by TestTimeSyncPlaneDoesNotPerturbSimulation.
+func BenchmarkTimeSyncWorld(b *testing.B) {
+	if testing.Short() {
+		b.Skip("simulation skipped in -short mode")
+	}
+	run := func(b *testing.B, clients int, share float64) {
+		for i := 0; i < b.N; i++ {
+			cfg := scenario.TestConfig()
+			cfg.Scale = 6000
+			cfg.NumASes = 150
+			cfg.FabricAttackDivisor = 8
+			cfg.TimeSync.Clients = clients
+			cfg.TimeAttackShare = share
+			scenario.Run(cfg)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0, 0) })
+	b.Run("fleet16", func(b *testing.B) { run(b, 16, 0) })
+	b.Run("attacked", func(b *testing.B) { run(b, 16, 0.5) })
+}
+
 // BenchmarkAblationRemediation re-runs a reduced world with the §6
 // community response disabled: the counterfactual Internet where nobody
 // patches. Expensive (one extra simulation), hence the small scale.

@@ -43,6 +43,8 @@ func main() {
 		sample      = flag.Int("sample", 1, "NetFlow 1-in-N sampling stride (1 = unsampled)")
 		outage      = flag.Float64("outage", 0, "NetFlow collector dark fraction in [0,1)")
 		blackout    = flag.Float64("blackout", 0, "honeypot sensor blackout fraction in [0,1)")
+		timesync    = flag.Int("timesync", 0, "disciplined NTP client count (0 keeps the timesync plane off)")
+		timeattack  = flag.Float64("timeattack", 0, "time-integrity attack share in [0,1] (requires -timesync)")
 	)
 	showVersion := buildinfo.Flag()
 	flag.Parse()
@@ -76,6 +78,12 @@ func main() {
 	cfg.Faults.FlowSampleN = *sample
 	cfg.Faults.CollectorOutage = *outage
 	cfg.Faults.SensorBlackout = *blackout
+	cfg.TimeSync.Clients = *timesync
+	cfg.TimeAttackShare = *timeattack
+	if *timeattack > 0 && *timesync == 0 {
+		fmt.Fprintln(os.Stderr, "ntpsim: -timeattack requires -timesync clients")
+		os.Exit(2)
+	}
 	if *detector {
 		dcfg := detect.DefaultConfig()
 		cfg.Detector = &dcfg
@@ -108,6 +116,7 @@ func main() {
 			"fig15", "fig16", "table5", "table6", "churn", "volume",
 			"remediation", "dnsoverlap", "ttl", "mega", "honeypot", "hpconv",
 			"detect", "vectors", // outside All(); need -detect to carry data
+			"timesync", "timeintegrity", // outside All(); need -timesync to carry data
 		} {
 			fmt.Println(id)
 		}
@@ -135,6 +144,10 @@ func main() {
 			t = sim.DetectReport()
 		case t == nil && *experiment == "vectors":
 			t = sim.DetectVectorReport()
+		case t == nil && *experiment == "timesync":
+			t = sim.TimeSyncReport()
+		case t == nil && *experiment == "timeintegrity":
+			t = sim.TimeIntegrityReport()
 		}
 		if t == nil {
 			fmt.Fprintf(os.Stderr, "ntpsim: unknown experiment %q (try -list)\n", *experiment)
@@ -149,5 +162,11 @@ func main() {
 	if *detector {
 		render(sim.DetectReport())
 		render(sim.DetectVectorReport())
+	}
+	if *timesync > 0 {
+		render(sim.TimeSyncReport())
+		if *detector {
+			render(sim.TimeIntegrityReport())
+		}
 	}
 }

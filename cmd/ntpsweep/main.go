@@ -68,6 +68,8 @@ func main() {
 		sampleSpec  = flag.String("sample", "", "comma-separated NetFlow 1-in-N sampling strides (e.g. 1,16,64)")
 		outageSpec  = flag.String("outage", "", "comma-separated NetFlow collector dark fractions in [0,1)")
 		blackSpec   = flag.String("blackout", "", "comma-separated honeypot sensor blackout fractions in [0,1)")
+		tsClients   = flag.Int("timesync", 0, "disciplined NTP client count (0 keeps the timesync plane off)")
+		taSpec      = flag.String("timeattack", "", "comma-separated time-integrity attack shares in [0,1] (requires -timesync)")
 		csv         = flag.Bool("csv", false, "emit the per-job table as CSV instead of the JSON manifest")
 		out         = flag.String("out", "-", "manifest destination (- = stdout)")
 		quiet       = flag.Bool("q", false, "suppress per-job progress lines")
@@ -83,6 +85,7 @@ func main() {
 		vectors: *vectorSpec, pulse: *pulseSpec, carpet: *carpetSpec, multi: *multiSpec,
 		loss: *lossSpec, dup: *dupSpec, reorder: *reorderSpec, flap: *flapSpec,
 		sample: *sampleSpec, outage: *outageSpec, blackout: *blackSpec,
+		timesync: *tsClients, timeattack: *taSpec,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -169,6 +172,8 @@ type specFlags struct {
 	vectors                                 string
 	loss, dup, reorder, flap                string
 	sample, outage, blackout                string
+	timesync                                int
+	timeattack                              string
 }
 
 // buildSpec assembles the declarative sweep spec from the flag strings; the
@@ -211,6 +216,7 @@ func buildSpec(f specFlags) (sweep.Spec, error) {
 		{"-flap", f.flap, &s.Flap},
 		{"-outage", f.outage, &s.Outage},
 		{"-blackout", f.blackout, &s.Blackout},
+		{"-timeattack", f.timeattack, &s.TimeAttack},
 	} {
 		if fl.spec == "" {
 			continue
@@ -228,6 +234,7 @@ func buildSpec(f specFlags) (sweep.Spec, error) {
 		}
 		s.Sample = strides
 	}
+	s.TimeSync = f.timesync
 	return s, nil
 }
 

@@ -18,11 +18,12 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.j
 
 const goldenPath = "testdata/golden_digests.json"
 
-// goldenJobs defines the pinned corpus: seven small configurations chosen to
+// goldenJobs defines the pinned corpus: nine small configurations chosen to
 // cover distinct code paths (baseline, resized honeypot fleet, the
 // counterfactual knobs added for sweeps, the three shaped campaign
-// schedules over the multi-protocol reflector plane, and the fault-injection
-// plane with every impairment armed at once). Each runs a truncated
+// schedules over the multi-protocol reflector plane, the fault-injection
+// plane with every impairment armed at once, and the disciplined-client
+// plane both benign and under time-integrity attack). Each runs a truncated
 // window — one monlist survey, a live honeypot event stream, and all 33
 // tables — in a few seconds, so the corpus is cheap enough for every CI run.
 func goldenJobs() []SweepJob {
@@ -72,6 +73,20 @@ func goldenJobs() []SweepJob {
 		FlowSampleN: 4, CollectorOutage: 0.2, SensorBlackout: 0.2,
 	}
 
+	// The disciplined-client plane, benign and under attack: these two
+	// digests include the discipline summary (SweepRunner appends it when
+	// the plane is enabled), pinning the sync state machine, the attacker
+	// models, and the integrity lane's inputs alongside the classic tables.
+	timesyncJob := base
+	timesyncJob.Seed = 23
+	timesyncJob.TimeSync.Clients = 16
+
+	timeattackJob := timesyncJob
+	timeattackJob.Seed = 29
+	timeattackJob.TimeAttackShare = 0.5
+	tacfg := detect.DefaultConfig()
+	timeattackJob.Detector = &tacfg
+
 	return []SweepJob{
 		{ID: "base/seed=1", Experiment: "base", Cfg: base},
 		{ID: "sensors24/seed=7", Experiment: "sensors24", Cfg: sensors},
@@ -80,6 +95,8 @@ func goldenJobs() []SweepJob {
 		{ID: "carpet/seed=13", Experiment: "carpet", Cfg: carpet},
 		{ID: "multivector/seed=17", Experiment: "multivector", Cfg: multi},
 		{ID: "faults/seed=19", Experiment: "faults", Cfg: faults},
+		{ID: "timesync/seed=23", Experiment: "timesync", Cfg: timesyncJob},
+		{ID: "timeattack/seed=29", Experiment: "timeattack", Cfg: timeattackJob},
 	}
 }
 

@@ -1,0 +1,99 @@
+package integration
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ntpddos"
+	"ntpddos/internal/metrics"
+	"ntpddos/internal/report"
+	"ntpddos/internal/sweep"
+)
+
+// TestTimeSyncSweepWorkersByteIdentical extends the parallelism wall to the
+// disciplined-client plane: a spec arming the fleet and the time-integrity
+// attack grid must produce byte-identical canonical manifests at workers=1
+// and workers=8. SweepRunner folds the discipline summary into each job's
+// digest when the plane is enabled, so this pins the sync state machine and
+// the attacker models themselves, not just the classic tables around them.
+func TestTimeSyncSweepWorkersByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	spec := sweep.Spec{
+		Name:       "timesync",
+		Seeds:      "23,29",
+		Detect:     "on",
+		TimeSync:   16,
+		TimeAttack: []float64{0, 0.5},
+	}
+	jobs, err := spec.Jobs(sweepTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ntpddos.Sweep(jobs, ntpddos.SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.CanonicalJSON(), parallel.CanonicalJSON()) {
+		t.Fatal("timesync sweep manifests differ between serial and parallel execution")
+	}
+	attacked := 0
+	for _, rec := range serial.Jobs {
+		if rec.Err != "" {
+			t.Fatalf("job %s failed: %s", rec.ID, rec.Err)
+		}
+		if rec.Values["ts_synced"] == 0 {
+			t.Fatalf("job %s synced no clients", rec.ID)
+		}
+		if rec.Values["ts_targets"] > 0 {
+			attacked++
+		}
+	}
+	if attacked == 0 {
+		t.Fatal("no job armed the attack plane; the wall is vacuous")
+	}
+}
+
+// TestMetricsDoNotPerturbTimeSyncPlane is the instrumentation-inertness
+// contract for the disciplined-client plane under attack: the full digest
+// (classic tables plus the discipline summary) must be identical with
+// metrics off and on, and the instrumented run must expose the
+// ntpsync_*/ntpattack_* families.
+func TestMetricsDoNotPerturbTimeSyncPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := sweepTestConfig()
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+	cfg.TimeSync.Clients = 16
+	cfg.TimeAttackShare = 0.5
+
+	digest := func(s *ntpddos.Simulation) string {
+		return report.Digest(append(s.All(), s.TimeSyncReport()))
+	}
+	plain := digest(ntpddos.Run(cfg))
+
+	reg := metrics.NewRegistry()
+	cfg.Metrics = reg
+	instrumented := digest(ntpddos.Run(cfg))
+	if plain != instrumented {
+		t.Fatalf("timesync instrumentation changed the simulation:\n  off: %s\n  on:  %s",
+			plain, instrumented)
+	}
+	text := reg.RenderText()
+	for _, family := range []string{
+		"ntpsync_polls_total", "ntpsync_samples_total", "ntpsync_abs_offset_seconds",
+		"ntpattack_targets", "ntpattack_rewritten_replies_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("instrumented run exposed no %s", family)
+		}
+	}
+}

@@ -1,10 +1,11 @@
-package core
+package core_test
 
 import (
 	"testing"
 	"time"
 
 	"ntpddos/internal/attack"
+	"ntpddos/internal/core"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntp"
@@ -60,7 +61,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	sample := survey.RunSample(clock.Now(), ampAddrs)
 
-	analysis := AnalyzeSample(sample, prober.Addr)
+	analysis := core.AnalyzeSample(sample, prober.Addr)
 	if len(analysis.Amps) != 10 {
 		t.Fatalf("found %d amplifiers, want 10", len(analysis.Amps))
 	}
@@ -135,7 +136,7 @@ func TestVersionPipeline(t *testing.T) {
 		Payload: ntp.NewReadVarRequest(1), Duration: 30 * time.Minute,
 	}
 	sample := survey.RunSample(clock.Now(), addrs)
-	census := AnalyzeVersionSample(sample)
+	census := core.AnalyzeVersionSample(sample)
 	if census.Total != 50 {
 		t.Fatalf("census total = %d, want 50", census.Total)
 	}

@@ -1,0 +1,21 @@
+package core
+
+// Min64 returns the smaller of two int64 values. It exists for call sites
+// that clamp wire-format counters (monlist entry counts, sync-sample tallies)
+// where the builtin generic min would force explicit conversions at every
+// caller; keeping one named helper here lets the daemon and timesync layers
+// share it instead of growing private copies.
+func Min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max64 is Min64's counterpart, for symmetric clamping.
+func Max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,23 @@
+package core
+
+import "testing"
+
+func TestMin64Max64(t *testing.T) {
+	cases := []struct {
+		a, b, min, max int64
+	}{
+		{0, 0, 0, 0},
+		{1, 2, 1, 2},
+		{2, 1, 1, 2},
+		{-5, 3, -5, 3},
+		{1 << 40, 1<<32 - 1, 1<<32 - 1, 1 << 40},
+	}
+	for _, c := range cases {
+		if got := Min64(c.a, c.b); got != c.min {
+			t.Errorf("Min64(%d, %d) = %d, want %d", c.a, c.b, got, c.min)
+		}
+		if got := Max64(c.a, c.b); got != c.max {
+			t.Errorf("Max64(%d, %d) = %d, want %d", c.a, c.b, got, c.max)
+		}
+	}
+}

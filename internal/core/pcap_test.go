@@ -1,4 +1,4 @@
-package core
+package core_test
 
 import (
 	"bytes"
@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ntpddos/internal/attack"
+	"ntpddos/internal/core"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
 	"ntpddos/internal/ntp"
@@ -46,13 +47,13 @@ func TestPCAPRoundTripAnalysis(t *testing.T) {
 		DstPort: ntp.Port, Duration: time.Minute,
 		Payload: ntp.NewMonlistRequest(ntp.ImplXNTPD, ntp.ReqMonGetList1)}
 	sample := survey.RunSample(clock.Now(), amps)
-	direct := AnalyzeSample(sample, prober.Addr)
+	direct := core.AnalyzeSample(sample, prober.Addr)
 
 	var buf bytes.Buffer
 	if err := scan.WritePCAP(&buf, sample, prober.Addr, 57915, 1); err != nil {
 		t.Fatal(err)
 	}
-	fromFile, err := AnalyzeSamplePCAP(&buf, "monlist", sample.Date, prober.Addr)
+	fromFile, err := core.AnalyzeSamplePCAP(&buf, "monlist", sample.Date, prober.Addr)
 	if err != nil {
 		t.Fatal(err)
 	}

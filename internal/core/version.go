@@ -2,10 +2,11 @@ package core
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/ntp"
-	"ntpddos/internal/ntpd"
 	"ntpddos/internal/scan"
 )
 
@@ -42,8 +43,26 @@ func ParseVersionResponses(addr netaddr.Addr, payloads [][]byte) (VersionInfo, b
 		System:      v.System,
 		Version:     v.Version,
 		Stratum:     v.Stratum,
-		CompileYear: ntpd.ExtractCompileYear(v.Version),
+		CompileYear: ExtractCompileYear(v.Version),
 	}, true
+}
+
+// ExtractCompileYear recovers the compile year from a version banner, the
+// way the paper "extracted the compile time year from all version strings".
+// It returns 0 when no plausible year is present. It lives here, with the
+// census that consumes it, so the daemon package can depend on core's shared
+// helpers without an import cycle.
+func ExtractCompileYear(version string) int {
+	for _, tok := range strings.FieldsFunc(version, func(r rune) bool {
+		return r == ' ' || r == '(' || r == ')'
+	}) {
+		if len(tok) == 4 {
+			if y, err := strconv.Atoi(tok); err == nil && y >= 1990 && y <= 2020 {
+				return y
+			}
+		}
+	}
+	return 0
 }
 
 // VersionCensus is the §3.3 aggregation over a version-scan sample.

@@ -1,0 +1,227 @@
+// Time-integrity detection lane: a passive monitor over the sync
+// discipline's telemetry (it implements timesync.Monitor structurally)
+// that flags clients whose clocks are being manipulated. Four independent
+// signals feed the verdict:
+//
+//   - offset-residual EWMA: per (client, server) smoothed |offset|; any
+//     server persistently disagreeing with the client's clock beyond the
+//     threshold marks the client (catches spoof, delay, drift, stratum —
+//     under each, *some* observed server's offsets diverge);
+//   - KoD storms: forged kiss-o'-death floods (genuine servers in the
+//     simulation never kiss, so any sustained kiss traffic is hostile);
+//   - quorum loss: repeated falseticker-voting failures (the 2-of-N
+//     coherent-liar split leaves no majority clique);
+//   - leap/panic events: bogus leap arming and panic-threshold hits.
+//
+// Like the victim detector's report, the monitor's summary is deliberately
+// NOT part of the digested table set — it is scored against the attack
+// plane's ground truth instead.
+package detect
+
+import (
+	"time"
+
+	"ntpddos/internal/netaddr"
+)
+
+// TimeMonitorConfig tunes the integrity lane.
+type TimeMonitorConfig struct {
+	// ResidualThreshold is the smoothed |offset| beyond which a server's
+	// disagreement counts as manipulation evidence. Benign steady-state
+	// offsets stay under ~120 ms (half the worst-case path asymmetry), so
+	// the default 300 ms clears them with margin.
+	ResidualThreshold time.Duration
+	// EWMAAlpha is the smoothing weight for fresh samples.
+	EWMAAlpha float64
+	// WarmupSamples per (client, server) are ignored: the initial
+	// convergence transient (seconds of InitOffset before the first step)
+	// must not trip the alarm.
+	WarmupSamples int
+	// MinSamples is the post-warmup sample floor before the residual
+	// alarm may fire.
+	MinSamples int
+	// KissThreshold kisses seen at one client raise the KoD-storm alarm.
+	KissThreshold int
+	// QuorumLossThreshold no-majority events raise the voting alarm.
+	QuorumLossThreshold int
+	// LeapThreshold leap-arm events raise the leap-injection alarm.
+	LeapThreshold int
+}
+
+// DefaultTimeMonitorConfig returns the tuned defaults.
+func DefaultTimeMonitorConfig() TimeMonitorConfig {
+	return TimeMonitorConfig{
+		ResidualThreshold:   300 * time.Millisecond,
+		EWMAAlpha:           0.3,
+		WarmupSamples:       4,
+		MinSamples:          8,
+		KissThreshold:       3,
+		QuorumLossThreshold: 3,
+		LeapThreshold:       2,
+	}
+}
+
+// tmAssoc is the per-(client, server) residual state.
+type tmAssoc struct {
+	n    int
+	ewma float64 // seconds
+}
+
+// tmClient is the per-client verdict state.
+type tmClient struct {
+	assocs     map[netaddr.Addr]*tmAssoc
+	kisses     int
+	quorumLoss int
+	leaps      int
+	flags      uint8
+}
+
+// Flag bits for the per-client alarm reasons.
+const (
+	flagResidual uint8 = 1 << iota
+	flagKissStorm
+	flagQuorumLoss
+	flagLeap
+	flagPanic
+)
+
+// TimeMonitor is the integrity lane. It draws no randomness and sends no
+// packets; attaching it never perturbs the simulation.
+type TimeMonitor struct {
+	cfg     TimeMonitorConfig
+	clients map[netaddr.Addr]*tmClient
+}
+
+// NewTimeMonitor builds the lane. Zero-valued config fields get defaults.
+func NewTimeMonitor(cfg TimeMonitorConfig) *TimeMonitor {
+	def := DefaultTimeMonitorConfig()
+	if cfg.ResidualThreshold == 0 {
+		cfg.ResidualThreshold = def.ResidualThreshold
+	}
+	if cfg.EWMAAlpha == 0 {
+		cfg.EWMAAlpha = def.EWMAAlpha
+	}
+	if cfg.WarmupSamples == 0 {
+		cfg.WarmupSamples = def.WarmupSamples
+	}
+	if cfg.MinSamples == 0 {
+		cfg.MinSamples = def.MinSamples
+	}
+	if cfg.KissThreshold == 0 {
+		cfg.KissThreshold = def.KissThreshold
+	}
+	if cfg.QuorumLossThreshold == 0 {
+		cfg.QuorumLossThreshold = def.QuorumLossThreshold
+	}
+	if cfg.LeapThreshold == 0 {
+		cfg.LeapThreshold = def.LeapThreshold
+	}
+	return &TimeMonitor{cfg: cfg, clients: make(map[netaddr.Addr]*tmClient)}
+}
+
+func (tm *TimeMonitor) client(addr netaddr.Addr) *tmClient {
+	c := tm.clients[addr]
+	if c == nil {
+		c = &tmClient{assocs: make(map[netaddr.Addr]*tmAssoc)}
+		tm.clients[addr] = c
+	}
+	return c
+}
+
+// ObserveSample implements timesync.Monitor: fold one (client, server)
+// offset sample into the residual EWMA.
+func (tm *TimeMonitor) ObserveSample(client, server netaddr.Addr, offset, delay time.Duration, now time.Time) {
+	c := tm.client(client)
+	a := c.assocs[server]
+	if a == nil {
+		a = &tmAssoc{}
+		c.assocs[server] = a
+	}
+	a.n++
+	if a.n <= tm.cfg.WarmupSamples {
+		return
+	}
+	abs := offset.Seconds()
+	if abs < 0 {
+		abs = -abs
+	}
+	a.ewma = tm.cfg.EWMAAlpha*abs + (1-tm.cfg.EWMAAlpha)*a.ewma
+	if a.n >= tm.cfg.WarmupSamples+tm.cfg.MinSamples &&
+		a.ewma > tm.cfg.ResidualThreshold.Seconds() {
+		c.flags |= flagResidual
+	}
+}
+
+// ObserveKiss implements timesync.Monitor: count kiss-o'-death sightings.
+func (tm *TimeMonitor) ObserveKiss(client, server netaddr.Addr, code string, now time.Time) {
+	c := tm.client(client)
+	c.kisses++
+	if c.kisses >= tm.cfg.KissThreshold {
+		c.flags |= flagKissStorm
+	}
+}
+
+// ObserveEvent implements timesync.Monitor: clock events.
+func (tm *TimeMonitor) ObserveEvent(client netaddr.Addr, kind string, magnitude time.Duration, now time.Time) {
+	c := tm.client(client)
+	switch kind {
+	case "no-majority":
+		c.quorumLoss++
+		if c.quorumLoss >= tm.cfg.QuorumLossThreshold {
+			c.flags |= flagQuorumLoss
+		}
+	case "leap":
+		c.leaps++
+		if c.leaps >= tm.cfg.LeapThreshold {
+			c.flags |= flagLeap
+		}
+	case "panic":
+		c.flags |= flagPanic
+	}
+}
+
+// TimeIntegritySummary is the lane's end-of-run verdict set.
+type TimeIntegritySummary struct {
+	ClientsMonitored int
+	Flagged          netaddr.Set
+	ResidualAlarms   int
+	KissStorms       int
+	QuorumLossAlarms int
+	LeapAlarms       int
+	PanicAlarms      int
+}
+
+// Summarize collects the flagged clients and per-signal alarm counts.
+func (tm *TimeMonitor) Summarize() *TimeIntegritySummary {
+	s := &TimeIntegritySummary{
+		ClientsMonitored: len(tm.clients),
+		Flagged:          netaddr.NewSet(0),
+	}
+	for addr, c := range tm.clients {
+		if c.flags == 0 {
+			continue
+		}
+		s.Flagged.Add(addr)
+		if c.flags&flagResidual != 0 {
+			s.ResidualAlarms++
+		}
+		if c.flags&flagKissStorm != 0 {
+			s.KissStorms++
+		}
+		if c.flags&flagQuorumLoss != 0 {
+			s.QuorumLossAlarms++
+		}
+		if c.flags&flagLeap != 0 {
+			s.LeapAlarms++
+		}
+		if c.flags&flagPanic != 0 {
+			s.PanicAlarms++
+		}
+	}
+	return s
+}
+
+// Eval scores the flagged set against the attack plane's ground truth.
+func (s *TimeIntegritySummary) Eval(truth netaddr.Set) Eval {
+	return Evaluate(s.Flagged, truth)
+}

@@ -160,7 +160,7 @@ func TestImpairmentDropCauseMetrics(t *testing.T) {
 	victim := netaddr.MustParseAddr("10.0.0.3")
 	net.SetImpairment(Impairment{Loss: 1}, rng.New(9).Fork("faults"))
 	net.SendSpoofed(src, victim, 80, dst, 123, TTLWindows, []byte("q")) // spoof drop
-	net.SendFrom(src, repDatagram(src, dst, 1000))                     // loss drops
+	net.SendFrom(src, repDatagram(src, dst, 1000))                      // loss drops
 	dgTTL := repDatagram(src, dst, 1)
 	dgTTL.IP.TTL = 3
 	net.SendFrom(src, dgTTL) // ttl drop

@@ -67,6 +67,40 @@ func FuzzDecodeMode6(f *testing.F) {
 	})
 }
 
+func FuzzDecodeSyncReply(f *testing.F) {
+	now := time.Unix(1385856000, 0).UTC()
+	req := NewPollRequest(6, ToNTPTime(now))
+	f.Add(req.AppendTo(nil))
+	f.Add(NewServerReply(req, 2, now.Add(40*time.Millisecond)).AppendTo(nil))
+	f.Add(NewServerReply(req, StratumUnsynchronized, now).AppendTo(nil))
+	f.Add(NewKissReply(req.TransmitTime, KissRATE, now).AppendTo(nil))
+	f.Add(NewKissReply(0, KissDENY, now).AppendTo(nil))
+	f.Add(make([]byte, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeSyncReply(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode to a reply that decodes to the
+		// same header and kiss classification.
+		r2, err := DecodeSyncReply(r.Header.AppendTo(nil))
+		if err != nil {
+			t.Fatalf("re-encoded sync reply does not decode: %v", err)
+		}
+		if r.Header != r2.Header || r.Kiss != r2.Kiss {
+			t.Fatalf("sync reply round trip diverged:\n%+v\n%+v", r, r2)
+		}
+		// Decoded invariants the discipline depends on.
+		if r.Kiss != "" && r.Stratum != 0 {
+			t.Fatalf("kiss code %q on stratum %d", r.Kiss, r.Stratum)
+		}
+		if r.Kiss == "" && r.TransmitTime == 0 {
+			t.Fatal("accepted a non-KoD reply with zero transmit timestamp")
+		}
+		_ = r.CheckOrigin(req.TransmitTime)
+	})
+}
+
 func FuzzDecodeHeader(f *testing.F) {
 	f.Add(NewClientRequest(time.Unix(1385856000, 0).UTC()).AppendTo(nil))
 	f.Add(make([]byte, 48))

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"ntpddos/internal/core"
 	"ntpddos/internal/metrics"
 	"ntpddos/internal/netaddr"
 	"ntpddos/internal/netsim"
@@ -294,7 +295,7 @@ func (s *Server) monlistEntries(now time.Time) []ntp.MonEntry {
 		out = append(out, ntp.MonEntry{
 			Addr:        e.addr,
 			DAddr:       s.cfg.Addr,
-			Count:       uint32(min64(e.count, 1<<32-1)),
+			Count:       uint32(core.Min64(e.count, 1<<32-1)),
 			Mode:        e.mode,
 			Version:     e.version,
 			Port:        e.port,
@@ -303,13 +304,6 @@ func (s *Server) monlistEntries(now time.Time) []ntp.MonEntry {
 		})
 	}
 	return out
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Respond is the transport-independent request path: it processes one UDP

@@ -2,9 +2,8 @@ package ntpd
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
+	"ntpddos/internal/core"
 	"ntpddos/internal/rng"
 )
 
@@ -189,18 +188,9 @@ func SampleProfile(src *rng.Source, role Role) Profile {
 
 // ExtractCompileYear recovers the compile year from a version banner, the
 // way the paper "extracted the compile time year from all version strings".
-// It returns 0 when no plausible year is present.
+// It forwards to core, where the census that consumes the year lives.
 func ExtractCompileYear(version string) int {
-	for _, tok := range strings.FieldsFunc(version, func(r rune) bool {
-		return r == ' ' || r == '(' || r == ')'
-	}) {
-		if len(tok) == 4 {
-			if y, err := strconv.Atoi(tok); err == nil && y >= 1990 && y <= 2020 {
-				return y
-			}
-		}
-	}
-	return 0
+	return core.ExtractCompileYear(version)
 }
 
 // SystemCatalog returns the Table 2 system strings in canonical order.

@@ -1,4 +1,4 @@
-package scan
+package scan_test
 
 import (
 	"testing"
@@ -10,12 +10,13 @@ import (
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/ntpd"
 	"ntpddos/internal/packet"
+	"ntpddos/internal/scan"
 	"ntpddos/internal/vtime"
 )
 
 func TestPermutationIsFullCycle(t *testing.T) {
 	for _, n := range []uint64{1, 2, 7, 100, 1000, 4096} {
-		p := NewPermutation(n, 12345)
+		p := scan.NewPermutation(n, 12345)
 		seen := make(map[uint64]bool, n)
 		for {
 			v, ok := p.Next()
@@ -39,7 +40,7 @@ func TestPermutationIsFullCycle(t *testing.T) {
 func TestPermutationProperty(t *testing.T) {
 	f := func(nRaw uint16, seed uint64) bool {
 		n := uint64(nRaw%2000) + 1
-		p := NewPermutation(n, seed)
+		p := scan.NewPermutation(n, seed)
 		seen := make(map[uint64]bool, n)
 		for {
 			v, ok := p.Next()
@@ -59,7 +60,7 @@ func TestPermutationProperty(t *testing.T) {
 }
 
 func TestPermutationNotIdentity(t *testing.T) {
-	p := NewPermutation(1000, 99)
+	p := scan.NewPermutation(1000, 99)
 	inOrder := 0
 	for i := uint64(0); ; i++ {
 		v, ok := p.Next()
@@ -76,7 +77,7 @@ func TestPermutationNotIdentity(t *testing.T) {
 }
 
 func TestPermutationReset(t *testing.T) {
-	p := NewPermutation(50, 3)
+	p := scan.NewPermutation(50, 3)
 	var first []uint64
 	for {
 		v, ok := p.Next()
@@ -112,7 +113,7 @@ func TestSweepFindsAmplifiers(t *testing.T) {
 	for _, s := range []*ntpd.Server{vuln, patched, plain} {
 		nw.Register(s.Addr(), s)
 	}
-	prober := NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
+	prober := scan.NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
 	nw.Register(prober.Addr, prober)
 
 	targets := []netaddr.Addr{vuln.Addr(), patched.Addr(), plain.Addr(),
@@ -142,10 +143,10 @@ func TestSurveyWeeklySamples(t *testing.T) {
 	vuln := ntpd.New(ntpd.Config{Addr: netaddr.MustParseAddr("10.0.0.10"),
 		MonlistEnabled: true, Profile: ntpd.Profile{TTL: 64}})
 	nw.Register(vuln.Addr(), vuln)
-	prober := NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
+	prober := scan.NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
 	nw.Register(prober.Addr, prober)
 
-	survey := &Survey{
+	survey := &scan.Survey{
 		Prober: prober, Network: nw, Kind: "monlist", DstPort: ntp.Port,
 		Payload:  ntp.NewMonlistRequest(ntp.ImplXNTPD, ntp.ReqMonGetList1),
 		Duration: time.Hour,
@@ -170,7 +171,7 @@ func TestSurveyWeeklySamples(t *testing.T) {
 
 func TestProberRepWeightedAccounting(t *testing.T) {
 	nw, sched := harness()
-	prober := NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
+	prober := scan.NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
 	nw.Register(prober.Addr, prober)
 	sender := netaddr.MustParseAddr("10.0.0.1")
 	dg := packet.NewDatagram(sender, 123, prober.Addr, 57915, make([]byte, 100))
@@ -188,7 +189,7 @@ func TestProberRepWeightedAccounting(t *testing.T) {
 
 func TestProberPayloadCap(t *testing.T) {
 	nw, sched := harness()
-	prober := NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
+	prober := scan.NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
 	prober.MaxPayloadsPerTarget = 3
 	nw.Register(prober.Addr, prober)
 	sender := netaddr.MustParseAddr("10.0.0.1")
@@ -207,7 +208,7 @@ func TestProberPayloadCap(t *testing.T) {
 
 func TestSweepSpreadsInTime(t *testing.T) {
 	nw, _ := harness()
-	prober := NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
+	prober := scan.NewProber(netaddr.MustParseAddr("198.51.100.5"), 57915)
 	nw.Register(prober.Addr, prober)
 	var times []time.Time
 	dst := netaddr.MustParseAddr("10.0.0.10")
@@ -233,7 +234,7 @@ func TestShardsPartitionThePermutation(t *testing.T) {
 	const size, seed, shards = 1000, 7, 4
 	seen := make(map[uint64]int, size)
 	for sh := uint64(0); sh < shards; sh++ {
-		s := NewShard(size, seed, sh, shards)
+		s := scan.NewShard(size, seed, sh, shards)
 		for {
 			v, ok := s.Next()
 			if !ok {
@@ -256,7 +257,7 @@ func TestShardSizesBalanced(t *testing.T) {
 	const size, shards = 10000, 8
 	counts := make([]int, shards)
 	for sh := uint64(0); sh < shards; sh++ {
-		s := NewShard(size, 3, sh, shards)
+		s := scan.NewShard(size, 3, sh, shards)
 		for {
 			if _, ok := s.Next(); !ok {
 				break
@@ -277,5 +278,5 @@ func TestShardPanicsOnBadIndex(t *testing.T) {
 			t.Fatal("shard >= shards accepted")
 		}
 	}()
-	NewShard(100, 1, 4, 4)
+	scan.NewShard(100, 1, 4, 4)
 }

@@ -16,6 +16,8 @@ import (
 	"ntpddos/internal/ntp"
 	"ntpddos/internal/ntpd"
 	"ntpddos/internal/scan"
+	"ntpddos/internal/timeattack"
+	"ntpddos/internal/timesync"
 )
 
 // Results carries everything the experiment harness consumes.
@@ -54,6 +56,15 @@ type Results struct {
 	// heavy-hitter rankings, and scanner-cardinality estimate (nil when
 	// Config.Detector is unset).
 	Detection *detect.Summary
+	// TimeSync is the disciplined-client fleet's end-of-run discipline
+	// summary (nil when Config.TimeSync is disabled); TimeAttack the
+	// time-integrity plane's forgery accounting; TimeIntegrity the
+	// drift-aware lane's verdicts, and TimeIntegrityEval its score against
+	// the attack plane's ground truth.
+	TimeSync          *timesync.Summary
+	TimeAttack        *timeattack.Summary
+	TimeIntegrity     *detect.TimeIntegritySummary
+	TimeIntegrityEval *detect.Eval
 }
 
 // SiteCounts is one sample's local amplifier census.
@@ -131,6 +142,13 @@ func (w *World) Run() *Results {
 
 	w.scheduleSiteEvents()
 
+	if w.TimeSync != nil {
+		w.TimeSync.Start(w.Net, cfg.Start, cfg.End)
+		if w.TimeAttack != nil {
+			w.TimeAttack.Start(w.Net, cfg.Start, cfg.End)
+		}
+	}
+
 	// Regional baseline traffic (Figure 14's floors): Merit carries
 	// 15–25 Gbps overall, dominated by web traffic; NTP is negligible on a
 	// normal day. CSU/FRGP floors are smaller.
@@ -200,6 +218,19 @@ func (w *World) Run() *Results {
 	}
 	if w.Detect != nil {
 		res.Detection = w.Detect.Summarize(w.Clock.Now())
+	}
+	if w.TimeSync != nil {
+		res.TimeSync = w.TimeSync.Summarize(w.Clock.Now())
+		if w.TimeAttack != nil {
+			res.TimeAttack = w.TimeAttack.Summarize()
+		}
+		if w.TimeMon != nil {
+			res.TimeIntegrity = w.TimeMon.Summarize()
+			if w.TimeAttack != nil {
+				ev := res.TimeIntegrity.Eval(w.TimeAttack.Attacked())
+				res.TimeIntegrityEval = &ev
+			}
+		}
 	}
 	return res
 }

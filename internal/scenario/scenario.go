@@ -33,6 +33,8 @@ import (
 	"ntpddos/internal/rng"
 	"ntpddos/internal/scan"
 	"ntpddos/internal/telemetry"
+	"ntpddos/internal/timeattack"
+	"ntpddos/internal/timesync"
 	"ntpddos/internal/vtime"
 )
 
@@ -135,7 +137,43 @@ type Config struct {
 	// zero value is provably inert: no extra forks, no extra draws, report
 	// digests unchanged.
 	Faults FaultConfig
+
+	// TimeSync sizes the disciplined-client plane (internal/timesync): hosts
+	// that actually *use* NTP for timekeeping, polling a dedicated stratum-2
+	// pool and steering simulated local clocks. Both the client fleet and its
+	// servers live on a private "timesync" stream forked from the seed, the
+	// servers are never part of the survey population, and the classic
+	// detector ignores mode 3/4 traffic — so the zero value (and any non-zero
+	// value) leaves every classic report digest unchanged.
+	TimeSync TimeSyncConfig
+
+	// TimeAttackShare is the fraction of disciplined clients targeted by the
+	// time-integrity attack plane (internal/timeattack): spoofed replies,
+	// forged kiss-o'-death, delay asymmetry, drift poisoning, stratum and
+	// leap manipulation. Target selection draws from a private "timeattack"
+	// stream; 0 never forks it. Requires TimeSync to be enabled.
+	TimeAttackShare float64
 }
+
+// TimeSyncConfig sizes the disciplined-client plane. The zero value
+// disables it entirely.
+type TimeSyncConfig struct {
+	// Clients is the number of disciplined hosts (0 disables the plane).
+	Clients int
+	// Servers sizes the dedicated stratum-2 pool the clients poll (default
+	// 8). These daemons are registered on the fabric but deliberately NOT in
+	// the survey population and live outside the §7 site networks, so the
+	// classic vantages never see them.
+	Servers int
+	// ServersPerClient is each client's association count (default 4).
+	ServersPerClient int
+	// MinPoll and MaxPoll override the discipline's poll-exponent bounds
+	// (defaults 6 and 10: 64 s to 1024 s).
+	MinPoll, MaxPoll int8
+}
+
+// Enabled reports whether the disciplined-client plane is configured.
+func (t TimeSyncConfig) Enabled() bool { return t.Clients > 0 }
 
 // FaultConfig groups the fault-injection knobs. Rates are probabilities in
 // [0, 1); durations and counts fall back to sensible defaults when zero.
@@ -277,6 +315,13 @@ type World struct {
 	// Detect is the streaming detection plane (nil when disabled), fed by a
 	// passive fabric tap alongside the telescope and ISP views.
 	Detect *detect.Detector
+	// TimeSync is the disciplined-client fleet (nil when disabled);
+	// TimeAttack is the time-integrity attack plane targeting it, and
+	// TimeMon the drift-aware integrity lane scored against the plane's
+	// ground truth.
+	TimeSync   *timesync.Fleet
+	TimeAttack *timeattack.Plane
+	TimeMon    *detect.TimeMonitor
 	// Reflectors maps each enabled extra vector to its registered reflector
 	// population (nil when Config.ExtraVectors is empty).
 	Reflectors attack.AmplifierSets
@@ -473,6 +518,7 @@ func Build(cfg Config) *World {
 			w.Detect.SetMetrics(detect.NewMetrics(cfg.Metrics))
 		}
 	}
+	w.buildTimeSync()
 	w.asPoolFrozen = true
 	return w
 }

@@ -563,6 +563,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"negative timeout", `{"seeds":"1","timeout_s":-1}`, 400, "invalid"},
 		{"bad vector", `{"seeds":"1","vectors":["smurf"]}`, 400, "invalid"},
 		{"bad pulse share", `{"seeds":"1","pulse":[1.5]}`, 400, "invalid"},
+		{"bad timeattack share", `{"seeds":"1","timesync":8,"timeattack":[1.5]}`, 400, "invalid"},
+		{"timeattack without timesync", `{"seeds":"1","timeattack":[0.5]}`, 400, "invalid"},
 	}
 	for _, tc := range cases {
 		resp, body := e.submit(t, tc.body)
@@ -584,6 +586,14 @@ func TestSubmitValidation(t *testing.T) {
 	fin := e.waitState(t, st.ID, StateDone)
 	if fin.Progress.Total != 2 {
 		t.Fatalf("campaign spec expanded %d jobs, want 2", fin.Progress.Total)
+	}
+
+	// The timesync plane rides the same embedded spec: clients as a base
+	// setting, attack shares as a grid dimension.
+	st = e.submitOK(t, `{"seeds":"1","timesync":16,"timeattack":[0,0.5]}`)
+	fin = e.waitState(t, st.ID, StateDone)
+	if fin.Progress.Total != 2 {
+		t.Fatalf("timesync spec expanded %d jobs, want 2", fin.Progress.Total)
 	}
 }
 

@@ -65,6 +65,12 @@ type Spec struct {
 	Outage []float64 `json:"outage,omitempty"`
 	// Blackout lists honeypot sensor blackout fractions in [0,1).
 	Blackout []float64 `json:"blackout,omitempty"`
+	// TimeSync sizes the disciplined-client plane (0 keeps it off).
+	// Base-config setting like Vectors, not a grid dimension.
+	TimeSync int `json:"timesync,omitempty"`
+	// TimeAttack lists time-integrity attack shares in [0,1]; requires
+	// TimeSync.
+	TimeAttack []float64 `json:"timeattack,omitempty"`
 }
 
 // NumJobs returns how many jobs the spec expands to, without building
@@ -86,6 +92,7 @@ func (s Spec) NumJobs() (int, error) {
 	for _, vals := range [][]float64{
 		s.Spoof, s.Hazard, s.Pulse, s.Carpet, s.Multi,
 		s.Loss, s.Dup, s.Reorder, s.Flap, s.Outage, s.Blackout,
+		s.TimeAttack,
 	} {
 		if len(vals) > 0 {
 			n *= len(vals)
@@ -167,6 +174,24 @@ func (s Spec) Grid(base scenario.Config) (Grid, error) {
 	}
 	if len(s.Vectors) > 0 {
 		g.Base.ExtraVectors = s.Vectors
+	}
+	if s.TimeSync < 0 {
+		return g, fmt.Errorf("bad timesync %d: must be non-negative", s.TimeSync)
+	}
+	if s.TimeSync > 0 {
+		g.Base.TimeSync.Clients = s.TimeSync
+	}
+	if len(s.TimeAttack) > 0 {
+		if s.TimeSync == 0 {
+			return g, fmt.Errorf("timeattack requires timesync clients")
+		}
+		for i, v := range s.TimeAttack {
+			if v < 0 || v > 1 {
+				return g, fmt.Errorf("bad timeattack[%d] %v: share must be within [0,1]", i, v)
+			}
+		}
+		g.Knobs = append(g.Knobs, Knob{Name: "timeattack", Values: FloatKnob(s.TimeAttack,
+			func(c *scenario.Config, v float64) { c.TimeAttackShare = v })})
 	}
 	for _, share := range []struct {
 		name string

@@ -131,6 +131,25 @@ func TestSpecGridShapes(t *testing.T) {
 		}
 	}
 
+	// TimeSync is a base setting; TimeAttack expands as a grid dimension.
+	g, err = Spec{Seeds: "1", TimeSync: 16, TimeAttack: []float64{0, 0.5}}.Grid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsJobs := g.Jobs()
+	if len(tsJobs) != 2 {
+		t.Fatalf("timeattack grid expanded %d jobs, want 2", len(tsJobs))
+	}
+	for _, j := range tsJobs {
+		if j.Cfg.TimeSync.Clients != 16 {
+			t.Fatalf("job %s timesync clients = %d", j.ID, j.Cfg.TimeSync.Clients)
+		}
+	}
+	if tsJobs[0].Cfg.TimeAttackShare != 0 || tsJobs[1].Cfg.TimeAttackShare != 0.5 {
+		t.Fatalf("timeattack shares: %v / %v",
+			tsJobs[0].Cfg.TimeAttackShare, tsJobs[1].Cfg.TimeAttackShare)
+	}
+
 	// Spoof 0 means "nobody spoofs", which Config spells as negative.
 	g, err = Spec{Seeds: "1", Spoof: []float64{0}}.Grid(base)
 	if err != nil {
@@ -276,6 +295,10 @@ func TestSpecRejectsBadFieldsWithValue(t *testing.T) {
 		{"outage at one", Spec{Seeds: "1", Outage: []float64{1}}, "outage[0] 1"},
 		{"blackout negative", Spec{Seeds: "1", Blackout: []float64{-0.3}}, "blackout[0] -0.3"},
 		{"blackout at one", Spec{Seeds: "1", Blackout: []float64{1}}, "blackout[0] 1"},
+		{"timesync negative", Spec{Seeds: "1", TimeSync: -4}, "-4"},
+		{"timeattack negative", Spec{Seeds: "1", TimeSync: 8, TimeAttack: []float64{-0.5}}, "timeattack[0] -0.5"},
+		{"timeattack above one", Spec{Seeds: "1", TimeSync: 8, TimeAttack: []float64{0.5, 1.5}}, "timeattack[1] 1.5"},
+		{"timeattack without timesync", Spec{Seeds: "1", TimeAttack: []float64{0.5}}, "timesync"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

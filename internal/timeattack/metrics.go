@@ -1,0 +1,30 @@
+package timeattack
+
+import "ntpddos/internal/metrics"
+
+// Metrics are the plane's counters, exported under ntpattack_*. Strictly
+// passive: the attack-on/off determinism tests pin that metrics change no
+// event order.
+type Metrics struct {
+	Targets       *metrics.Gauge
+	ForgedReplies *metrics.Counter
+	ForgedKisses  *metrics.Counter
+	Delayed       *metrics.Counter
+	Rewritten     *metrics.Counter
+}
+
+// NewMetrics registers the plane's metric families.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Targets: r.NewGauge("ntpattack_targets",
+			"Disciplined clients selected as time-integrity attack targets."),
+		ForgedReplies: r.NewCounter("ntpattack_forged_replies_total",
+			"Off-path spoofed mode 4 replies sent at targets."),
+		ForgedKisses: r.NewCounter("ntpattack_forged_kisses_total",
+			"Forged kiss-o'-death packets sent at targets (CVE-2015-7704/7705)."),
+		Delayed: r.NewCounter("ntpattack_delayed_replies_total",
+			"Genuine replies held back by the on-path delay-asymmetry model."),
+		Rewritten: r.NewCounter("ntpattack_rewritten_replies_total",
+			"Genuine replies rewritten in flight (drift, stratum, leap models)."),
+	}
+}

@@ -1,0 +1,42 @@
+package timesync
+
+import "ntpddos/internal/metrics"
+
+// Metrics are the sync-discipline counters, exported under ntpsync_*.
+// They are strictly passive: incrementing them must never change the
+// simulation's event order (the metrics-on/off determinism test pins
+// this).
+type Metrics struct {
+	Polls, Samples, Malformed *metrics.Counter
+	RejectedOrigin, Kisses    *metrics.Counter
+	Steps, Slews, Panics      *metrics.Counter
+	NoMajority                *metrics.Counter
+	AbsOffset                 *metrics.Histogram
+}
+
+// NewMetrics registers the discipline's metric families.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Polls: r.NewCounter("ntpsync_polls_total",
+			"Mode 3 polls sent by disciplined clients."),
+		Samples: r.NewCounter("ntpsync_samples_total",
+			"Offset/delay samples accepted into clock filters."),
+		Malformed: r.NewCounter("ntpsync_malformed_total",
+			"Replies rejected by the hardened mode 4 decoder."),
+		RejectedOrigin: r.NewCounter("ntpsync_rejected_origin_total",
+			"Replies dropped by origin-timestamp validation."),
+		Kisses: r.NewCounter("ntpsync_kiss_total",
+			"Kiss-o'-death replies seen on the wire (honored or not)."),
+		Steps: r.NewCounter("ntpsync_steps_total",
+			"Clock steps (combined offset at or above the step threshold)."),
+		Slews: r.NewCounter("ntpsync_slews_total",
+			"Gradual clock slews (offset below the step threshold)."),
+		Panics: r.NewCounter("ntpsync_panics_total",
+			"Updates refused because the offset exceeded the panic threshold."),
+		NoMajority: r.NewCounter("ntpsync_no_majority_total",
+			"Clock updates held because falseticker voting lost quorum."),
+		AbsOffset: r.NewHistogram("ntpsync_abs_offset_seconds",
+			"Absolute combined offset at each accepted sample.",
+			metrics.ExponentialBuckets(0.001, 4, 10)),
+	}
+}

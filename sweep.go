@@ -68,9 +68,18 @@ func SweepContext(ctx context.Context, jobs []SweepJob, opt SweepOptions) (*Swee
 func SweepRunner(j SweepJob) (sweep.Result, error) {
 	s := Run(j.Cfg)
 	tables := s.All()
+	numTables := len(tables)
+	// The disciplined-client plane lives outside All() (the classic digest
+	// must be independent of it), but when it is enabled its behaviour is
+	// pinned too: the discipline summary joins the digested set. The report
+	// depends only on Config.TimeSync/TimeAttackShare, never on
+	// Config.Detector, so the detector-on/off digest identity still holds.
+	if s.Results().TimeSync != nil {
+		tables = append(tables, s.TimeSyncReport())
+	}
 	return sweep.Result{
 		Digest: report.Digest(tables),
-		Values: sweepValues(s, len(tables)),
+		Values: sweepValues(s, numTables),
 	}, nil
 }
 
@@ -108,6 +117,19 @@ func sweepValues(s *Simulation, numTables int) map[string]float64 {
 		e := detect.Evaluate(det.VictimSet(), s.LaunchedVictimSet())
 		v["det_precision"] = e.Precision
 		v["det_recall"] = e.Recall
+	}
+	if ts := res.TimeSync; ts != nil {
+		v["ts_clients"] = float64(ts.Clients)
+		v["ts_synced"] = float64(ts.Synced)
+		v["ts_max_err_ms"] = float64(ts.MaxAbsErr.Milliseconds())
+		v["ts_steps"] = float64(ts.Steps)
+	}
+	if at := res.TimeAttack; at != nil {
+		v["ts_targets"] = float64(at.Targets)
+	}
+	if e := res.TimeIntegrityEval; e != nil {
+		v["ts_det_precision"] = e.Precision
+		v["ts_det_recall"] = e.Recall
 	}
 	return v
 }

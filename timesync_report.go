@@ -1,0 +1,95 @@
+package ntpddos
+
+import (
+	"time"
+
+	"ntpddos/internal/detect"
+	"ntpddos/internal/timeattack"
+	"ntpddos/internal/timesync"
+)
+
+// TimeSync exposes the disciplined-client fleet's end-of-run summary (nil
+// when Config.TimeSync is disabled).
+func (s *Simulation) TimeSync() *timesync.Summary { return s.res.TimeSync }
+
+// TimeAttack exposes the time-integrity attack plane's accounting (nil when
+// Config.TimeAttackShare is zero).
+func (s *Simulation) TimeAttack() *timeattack.Summary { return s.res.TimeAttack }
+
+// TimeIntegrity exposes the drift-aware integrity lane's verdicts (nil when
+// Config.Detector is unset or the plane is disabled).
+func (s *Simulation) TimeIntegrity() *detect.TimeIntegritySummary { return s.res.TimeIntegrity }
+
+// TimeIntegrityEval exposes the lane's precision/recall against the attack
+// plane's ground-truth target set (nil unless both the detector and the
+// attack plane ran).
+func (s *Simulation) TimeIntegrityEval() *detect.Eval { return s.res.TimeIntegrityEval }
+
+// TimeSyncReport summarizes the sync-discipline plane: fleet convergence,
+// clock-event counters, kiss-o'-death handling, and (when armed) the attack
+// plane's per-model target counts and forgery volumes.
+//
+// The table is NOT part of All() — the classic digest contract requires
+// every All() table to be independent of the plane — but SweepRunner
+// appends it to the per-job digest whenever the plane is enabled, so sweeps
+// and the golden corpus pin the discipline's behaviour too. It depends only
+// on Config.TimeSync/TimeAttackShare, never on Config.Detector, keeping the
+// detector-on/off digest identity intact.
+func (s *Simulation) TimeSyncReport() *Table {
+	t := &Table{ID: "timesync", Title: "Sync discipline: fleet convergence and clock events",
+		Headers: []string{"metric", "value"}}
+	sum := s.res.TimeSync
+	if sum == nil {
+		t.AddNote("disciplined-client plane disabled (Config.TimeSync.Clients = 0)")
+		return t
+	}
+	t.AddRowf("clients", sum.Clients)
+	t.AddRowf("synced (|err| < step threshold)", sum.Synced)
+	t.AddRowf("stopped (KoD DENY/RSTR)", sum.Stopped)
+	t.AddRowf("panicked", sum.Panicked)
+	t.AddRowf("leap armed", sum.LeapArmed)
+	t.AddRowf("polls", sum.Polls)
+	t.AddRowf("replies", sum.Replies)
+	t.AddRowf("samples", sum.Samples)
+	t.AddRowf("rejected origin", sum.RejectedOrigin)
+	t.AddRowf("insecure accepts", sum.InsecureAccepts)
+	t.AddRowf("steps", sum.Steps)
+	t.AddRowf("slews", sum.Slews)
+	t.AddRowf("no-majority holds", sum.NoMajority)
+	t.AddRowf("kisses seen", sum.KissSeen)
+	t.AddRowf("KoD RATE honored", sum.KodRate)
+	t.AddRowf("KoD DENY/RSTR honored", sum.KodDeny)
+	t.AddRowf("KoD rejected (bad origin)", sum.KodRejected)
+	t.AddRowf("max |clock err| (ms)", float64(sum.MaxAbsErr)/float64(time.Millisecond))
+	t.AddRowf("mean |clock err| (ms)", float64(sum.MeanAbsErr)/float64(time.Millisecond))
+	if at := s.res.TimeAttack; at != nil {
+		t.AddNote("attack plane: %d targets (%v); %d forged replies, %d forged kisses, %d delayed, %d rewritten",
+			at.Targets, at.ByModel, at.ForgedReplies, at.ForgedKisses, at.Delayed, at.Rewritten)
+	}
+	return t
+}
+
+// TimeIntegrityReport scores the drift-aware integrity lane against the
+// attack plane's ground truth. Like DetectReport it is outside All() and
+// outside the sweep digest: it depends on Config.Detector.
+func (s *Simulation) TimeIntegrityReport() *Table {
+	t := &Table{ID: "timeintegrity", Title: "Time-integrity detection: flagged clients vs attack ground truth",
+		Headers: []string{"metric", "value"}}
+	sum := s.res.TimeIntegrity
+	if sum == nil {
+		t.AddNote("integrity lane disabled (needs Config.Detector and Config.TimeSync)")
+		return t
+	}
+	t.AddRowf("clients monitored", sum.ClientsMonitored)
+	t.AddRowf("flagged", sum.Flagged.Len())
+	t.AddRowf("residual alarms", sum.ResidualAlarms)
+	t.AddRowf("KoD storms", sum.KissStorms)
+	t.AddRowf("quorum-loss alarms", sum.QuorumLossAlarms)
+	t.AddRowf("leap alarms", sum.LeapAlarms)
+	t.AddRowf("panic alarms", sum.PanicAlarms)
+	if e := s.res.TimeIntegrityEval; e != nil {
+		t.AddNote("vs ground truth: %d attacked, %d flagged, %d true positives — precision %.3f recall %.3f",
+			e.Truth, e.Detected, e.TruePositives, e.Precision, e.Recall)
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package ntpddos
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/detect"
+	"ntpddos/internal/report"
+)
+
+// tsQuickConfig is the truncated world the time-integrity tests share: the
+// same shape as the golden corpus configs, ending after the first monlist
+// survey so every classic table has content.
+func tsQuickConfig() Config {
+	cfg := QuickConfig()
+	cfg.Scale = 4000
+	cfg.NumASes = 200
+	cfg.FabricAttackDivisor = 8
+	cfg.End = time.Date(2014, 1, 17, 0, 0, 0, 0, time.UTC)
+	return cfg
+}
+
+// TestTimeSyncPlaneDoesNotPerturbSimulation is the disciplined-client
+// plane's digest contract: enabling the fleet — and even arming the attack
+// plane against it — must leave every classic All() table byte-identical.
+// The fleet and its dedicated servers live on private RNG streams, the
+// servers never join the survey population, and the classic detector drops
+// mode 3/4 traffic, so the 33 tables cannot see the plane at all.
+func TestTimeSyncPlaneDoesNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := tsQuickConfig()
+
+	off := report.Digest(Run(cfg).All())
+
+	cfg.TimeSync.Clients = 16
+	s := Run(cfg)
+	on := report.Digest(s.All())
+	if off != on {
+		t.Fatalf("disciplined-client plane changed the classic tables:\n  off: %s\n  on:  %s", off, on)
+	}
+	sum := s.TimeSync()
+	if sum == nil || sum.Samples == 0 {
+		t.Fatal("plane enabled but no samples collected; digest identity is vacuous")
+	}
+
+	cfg.TimeAttackShare = 0.5
+	s2 := Run(cfg)
+	attacked := report.Digest(s2.All())
+	if off != attacked {
+		t.Fatalf("time-integrity attacks leaked into the classic tables:\n  off: %s\n  on:  %s", off, attacked)
+	}
+	at := s2.TimeAttack()
+	if at == nil || at.Targets == 0 {
+		t.Fatal("attack plane armed but selected no targets; digest identity is vacuous")
+	}
+	if at.ForgedReplies+at.ForgedKisses+at.Delayed+at.Rewritten == 0 {
+		t.Fatal("attack plane fired nothing; digest identity is vacuous")
+	}
+}
+
+// TestTimeSyncBenignWall pins the discipline's quality bar: with no
+// attacker, every disciplined host must converge and hold its clock inside
+// the 128 ms step threshold, with no falseticker holds and no panics —
+// despite boot offsets up to ±2 s and hardware drift up to ±50 ppm.
+func TestTimeSyncBenignWall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := tsQuickConfig()
+	cfg.End = time.Date(2013, 10, 15, 0, 0, 0, 0, time.UTC)
+	cfg.TimeSync.Clients = 16
+	sum := Run(cfg).TimeSync()
+	if sum == nil {
+		t.Fatal("plane enabled but no summary recorded")
+	}
+	if sum.Clients != 16 {
+		t.Fatalf("placed %d clients, want 16", sum.Clients)
+	}
+	if sum.Synced != sum.Clients {
+		t.Fatalf("only %d/%d clients synced", sum.Synced, sum.Clients)
+	}
+	if sum.MaxAbsErr >= 128*time.Millisecond {
+		t.Fatalf("max |clock err| %v, want < 128ms", sum.MaxAbsErr)
+	}
+	if sum.NoMajority != 0 || sum.Panicked != 0 || sum.Stopped != 0 {
+		t.Fatalf("benign run saw %d no-majority holds, %d panics, %d stopped",
+			sum.NoMajority, sum.Panicked, sum.Stopped)
+	}
+	if sum.KissSeen != 0 {
+		t.Fatalf("benign servers sent %d kisses", sum.KissSeen)
+	}
+}
+
+// TestTimeIntegrityDetection scores the drift-aware lane against the attack
+// plane's ground truth: across all six attacker models the flagged set must
+// reach 0.9 precision and recall, while a benign fleet raises no alarms.
+func TestTimeIntegrityDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation skipped in -short mode")
+	}
+	cfg := tsQuickConfig()
+	cfg.End = time.Date(2013, 11, 1, 0, 0, 0, 0, time.UTC)
+	cfg.TimeSync.Clients = 24
+	dcfg := detect.DefaultConfig()
+	cfg.Detector = &dcfg
+
+	benign := Run(cfg)
+	bi := benign.TimeIntegrity()
+	if bi == nil {
+		t.Fatal("detector on but no integrity summary recorded")
+	}
+	if bi.Flagged.Len() != 0 {
+		t.Fatalf("benign fleet: %d clients falsely flagged (%+v)", bi.Flagged.Len(), bi)
+	}
+
+	cfg.TimeAttackShare = 0.5
+	s := Run(cfg)
+	e := s.TimeIntegrityEval()
+	if e == nil {
+		t.Fatal("attack plane on but no eval recorded")
+	}
+	if e.Truth < 5 {
+		t.Fatalf("only %d attacked clients; score would be vacuous", e.Truth)
+	}
+	if e.Precision < 0.9 || e.Recall < 0.9 {
+		t.Fatalf("integrity lane: precision %.3f recall %.3f (TP %d / det %d / truth %d), want >= 0.9 both",
+			e.Precision, e.Recall, e.TruePositives, e.Detected, e.Truth)
+	}
+}
+
+// The sweep-level walls for this plane — byte-identical manifests across
+// worker counts and instrumentation inertness with the attack armed — live
+// in the integration package alongside the fault-plane equivalents.
