@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// DiffRow is the comparison of one benchmark across two snapshots. Deltas
+// are percentages relative to the old value; a benchmark present in only one
+// snapshot yields a row with Added or Removed set and no deltas.
+type DiffRow struct {
+	Key          string
+	OldNs, NewNs float64
+	NsDelta      float64
+	OldAllocs    int64
+	NewAllocs    int64
+	AllocsDelta  float64
+	Added        bool
+	Removed      bool
+}
+
+// DiffSnapshots matches benchmarks by package+name and computes per-metric
+// deltas, sorted by key for stable output.
+func DiffSnapshots(oldS, newS *Snapshot) []DiffRow {
+	key := func(r Result) string {
+		if r.Package != "" {
+			return r.Package + "." + r.Name
+		}
+		return r.Name
+	}
+	oldBy := make(map[string]Result, len(oldS.Results))
+	for _, r := range oldS.Results {
+		oldBy[key(r)] = r
+	}
+	seen := make(map[string]bool, len(newS.Results))
+	var rows []DiffRow
+	for _, nr := range newS.Results {
+		k := key(nr)
+		seen[k] = true
+		or, ok := oldBy[k]
+		if !ok {
+			rows = append(rows, DiffRow{Key: k, NewNs: nr.NsPerOp, NewAllocs: nr.AllocsPerOp, Added: true})
+			continue
+		}
+		rows = append(rows, DiffRow{
+			Key:         k,
+			OldNs:       or.NsPerOp,
+			NewNs:       nr.NsPerOp,
+			NsDelta:     pctDelta(or.NsPerOp, nr.NsPerOp),
+			OldAllocs:   or.AllocsPerOp,
+			NewAllocs:   nr.AllocsPerOp,
+			AllocsDelta: pctDelta(float64(or.AllocsPerOp), float64(nr.AllocsPerOp)),
+		})
+	}
+	for _, or := range oldS.Results {
+		if k := key(or); !seen[k] {
+			rows = append(rows, DiffRow{Key: k, OldNs: or.NsPerOp, OldAllocs: or.AllocsPerOp, Removed: true})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows
+}
+
+// pctDelta returns the percent change from old to new; a zero old value
+// yields zero (nothing meaningful to normalize against).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// FormatDiff renders the rows as an aligned table.
+func FormatDiff(w io.Writer, rows []DiffRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs/op\tnew allocs/op\tdelta")
+	for _, r := range rows {
+		switch {
+		case r.Added:
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tadded\t-\t%d\tadded\n", r.Key, r.NewNs, r.NewAllocs)
+		case r.Removed:
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t%d\t-\tremoved\n", r.Key, r.OldNs, r.OldAllocs)
+		default:
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%d\t%d\t%+.1f%%\n",
+				r.Key, r.OldNs, r.NewNs, r.NsDelta, r.OldAllocs, r.NewAllocs, r.AllocsDelta)
+		}
+	}
+	tw.Flush()
+}
+
+// WorstRegression returns the largest percentage increase across ns/op and
+// allocs/op in the compared rows (added/removed rows do not count).
+func WorstRegression(rows []DiffRow) float64 {
+	worst := 0.0
+	for _, r := range rows {
+		if r.Added || r.Removed {
+			continue
+		}
+		if r.NsDelta > worst {
+			worst = r.NsDelta
+		}
+		if r.AllocsDelta > worst {
+			worst = r.AllocsDelta
+		}
+	}
+	return worst
+}
+
+// loadSnapshot reads one benchjson snapshot file.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// runDiff implements `benchjson -diff old.json new.json`: print the delta
+// table and return 1 when any benchmark regressed (ns/op or allocs/op) by
+// more than threshold percent, 0 otherwise.
+func runDiff(oldPath, newPath string, threshold float64, w io.Writer) int {
+	oldS, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newS, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	rows := DiffSnapshots(oldS, newS)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmarks to compare")
+		return 2
+	}
+	FormatDiff(w, rows)
+	if worst := WorstRegression(rows); worst > threshold {
+		fmt.Fprintf(os.Stderr, "benchjson: worst regression %+.1f%% exceeds threshold %.1f%%\n",
+			worst, threshold)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) *Snapshot {
+	return &Snapshot{Date: "2014-01-01", Results: results}
+}
+
+func TestDiffSnapshotsMatchesByPackageAndName(t *testing.T) {
+	oldS := snap(
+		Result{Package: "ntpddos", Name: "BenchmarkScaleWorld/hosts=1k", NsPerOp: 1000, AllocsPerOp: 500},
+		Result{Package: "ntpddos/internal/ntp", Name: "BenchmarkEncode", NsPerOp: 50, AllocsPerOp: 2},
+		Result{Package: "ntpddos", Name: "BenchmarkGone", NsPerOp: 10},
+	)
+	newS := snap(
+		Result{Package: "ntpddos", Name: "BenchmarkScaleWorld/hosts=1k", NsPerOp: 100, AllocsPerOp: 50},
+		Result{Package: "ntpddos/internal/ntp", Name: "BenchmarkEncode", NsPerOp: 75, AllocsPerOp: 2},
+		Result{Package: "ntpddos", Name: "BenchmarkNew", NsPerOp: 20},
+	)
+	rows := DiffSnapshots(oldS, newS)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4: %+v", len(rows), rows)
+	}
+	byKey := map[string]DiffRow{}
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	scale := byKey["ntpddos.BenchmarkScaleWorld/hosts=1k"]
+	if scale.NsDelta != -90 || scale.AllocsDelta != -90 {
+		t.Errorf("scale deltas = %+.1f%% ns, %+.1f%% allocs, want -90%% both", scale.NsDelta, scale.AllocsDelta)
+	}
+	enc := byKey["ntpddos/internal/ntp.BenchmarkEncode"]
+	if enc.NsDelta != 50 {
+		t.Errorf("encode ns delta = %+.1f%%, want +50%%", enc.NsDelta)
+	}
+	if !byKey["ntpddos.BenchmarkNew"].Added || !byKey["ntpddos.BenchmarkGone"].Removed {
+		t.Errorf("added/removed flags wrong: %+v", rows)
+	}
+}
+
+func TestWorstRegressionIgnoresAddedRemoved(t *testing.T) {
+	rows := []DiffRow{
+		{Key: "a", NsDelta: -50, AllocsDelta: 12},
+		{Key: "b", NsDelta: 30, AllocsDelta: -5},
+		{Key: "c", Added: true, NewNs: 1e12},
+		{Key: "d", Removed: true, OldNs: 1},
+	}
+	if got := WorstRegression(rows); got != 30 {
+		t.Fatalf("worst = %v, want 30", got)
+	}
+}
+
+func TestPctDeltaZeroBaseline(t *testing.T) {
+	if got := pctDelta(0, 100); got != 0 {
+		t.Fatalf("pctDelta(0, 100) = %v, want 0 (no meaningful baseline)", got)
+	}
+}
+
+func TestFormatDiffRendersTable(t *testing.T) {
+	var buf bytes.Buffer
+	FormatDiff(&buf, []DiffRow{
+		{Key: "pkg.BenchmarkX", OldNs: 1000, NewNs: 100, NsDelta: -90, OldAllocs: 10, NewAllocs: 1, AllocsDelta: -90},
+		{Key: "pkg.BenchmarkAdded", Added: true, NewNs: 5, NewAllocs: 0},
+	})
+	out := buf.String()
+	for _, want := range []string{"pkg.BenchmarkX", "-90.0%", "added", "old ns/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -38,6 +38,10 @@ const (
 	numASTypes
 )
 
+// NumASTypes is the number of distinct AS types, for building dense
+// per-type lookup tables.
+const NumASTypes = int(numASTypes)
+
 // String names the type.
 func (t ASType) String() string {
 	switch t {
@@ -133,6 +137,12 @@ type DB struct {
 
 	byNumber map[routing.ASN]*AS
 	byName   map[string]*AS
+
+	// pickScratch is PickWeighted's reusable weight buffer. The simulation
+	// drives each DB from one goroutine, and rng.Source.Weighted only reads
+	// the slice, so reuse is safe and keeps the hot victim/AS draws
+	// allocation-free.
+	pickScratch []float64
 }
 
 // Well-known AS names, usable with DB.ByName.
@@ -338,13 +348,18 @@ func (db *DB) OfType(t ASType) []*AS {
 // ASes with non-positive weight are never selected. It returns nil when all
 // weights are non-positive.
 func (db *DB) PickWeighted(src *rng.Source, weight func(*AS) float64) *AS {
-	weights := make([]float64, len(db.ASes))
+	if cap(db.pickScratch) < len(db.ASes) {
+		db.pickScratch = make([]float64, len(db.ASes))
+	}
+	weights := db.pickScratch[:len(db.ASes)]
 	total := 0.0
 	for i, as := range db.ASes {
 		w := weight(as)
 		if w > 0 {
 			weights[i] = w
 			total += w
+		} else {
+			weights[i] = 0
 		}
 	}
 	if total <= 0 {

@@ -77,10 +77,14 @@ func harness() (*netsim.Network, *vtime.Scheduler) {
 	return netsim.New(sched, nil), sched
 }
 
+// collector deep-copies delivered datagrams: the fabric recycles the struct
+// and payload buffer as soon as HandlePacket returns.
 type collector struct{ packets []*packet.Datagram }
 
 func (c *collector) HandlePacket(_ *netsim.Network, dg *packet.Datagram, _ time.Time) {
-	c.packets = append(c.packets, dg)
+	cp := *dg
+	cp.Payload = append([]byte(nil), dg.Payload...)
+	c.packets = append(c.packets, &cp)
 }
 
 func TestOpenResolverAmplifies(t *testing.T) {

@@ -72,6 +72,13 @@ type AmpStats struct {
 	WireOut    int64
 	Victims    netaddr.Set
 	perVictim  map[netaddr.Addr]*pairStats
+
+	// Attack traffic arrives in long same-victim runs; remembering the last
+	// pair looked up skips the map (and the Victims set insert — a cache hit
+	// proves membership). Entries are never removed, so the pointer cannot
+	// go stale.
+	lastVictim netaddr.Addr
+	lastPair   *pairStats
 }
 
 type pairStats struct {
@@ -99,9 +106,13 @@ type VictimStats struct {
 	Packets    int64
 	TriggerOut int64 // payload bytes of the victim's (spoofed) triggers
 	Amplifiers netaddr.Set
-	First      time.Time
-	Last       time.Time
-	Ports      *stats.Histogram
+	// lastAmp short-circuits Amplifiers.Add for the same-amplifier runs
+	// attack reflection produces.
+	lastAmp   netaddr.Addr
+	lastAmpOK bool
+	First     time.Time
+	Last      time.Time
+	Ports     *stats.Histogram
 	// Hourly is the victim's received on-wire volume per hour — one line of
 	// Figure 13's stacked top-victims chart.
 	Hourly *stats.TimeSeries
@@ -158,6 +169,18 @@ type View struct {
 	// model.
 	billingBucket *stats.TimeSeries
 
+	// Lazily resolved ProtoBytes entries for the three classes the packet
+	// tap can emit, so Observe skips the string-keyed map lookup per packet.
+	ntpSeries, dnsSeries, otherSeries *stats.TimeSeries
+
+	// Last amp/victim lookups memoized for the same-flow packet runs the
+	// attack engine emits. amps and victims entries are never removed, so
+	// the cached pointers cannot go stale.
+	lastAmpAddr netaddr.Addr
+	lastAmp     *AmpStats
+	lastVicAddr netaddr.Addr
+	lastVic     *VictimStats
+
 	// Pre-resolved metric children for this site (nil when detached).
 	mPackets  *metrics.Counter
 	mIngress  *metrics.Counter
@@ -213,24 +236,40 @@ func (v *View) Contains(a netaddr.Addr) bool {
 	return false
 }
 
-func (v *View) proto(dg *packet.Datagram) string {
+// protoSeries returns the ProtoBytes series for the packet's class, caching
+// the resolved pointer (creation still goes through addProto so the map
+// stays the single source of truth for reports).
+func (v *View) protoSeries(dg *packet.Datagram) *stats.TimeSeries {
 	switch {
 	case dg.UDP.SrcPort == ntp.Port || dg.UDP.DstPort == ntp.Port:
-		return "ntp"
+		if v.ntpSeries == nil {
+			v.ntpSeries = v.protoEntry("ntp")
+		}
+		return v.ntpSeries
 	case dg.UDP.SrcPort == 53 || dg.UDP.DstPort == 53:
-		return "dns"
+		if v.dnsSeries == nil {
+			v.dnsSeries = v.protoEntry("dns")
+		}
+		return v.dnsSeries
 	default:
-		return "other"
+		if v.otherSeries == nil {
+			v.otherSeries = v.protoEntry("other")
+		}
+		return v.otherSeries
 	}
 }
 
-func (v *View) addProto(name string, now time.Time, bytes float64) {
+func (v *View) protoEntry(name string) *stats.TimeSeries {
 	ts, ok := v.ProtoBytes[name]
 	if !ok {
 		ts = stats.NewTimeSeries(vtime.Epoch, time.Hour)
 		v.ProtoBytes[name] = ts
 	}
-	ts.Add(now, bytes)
+	return ts
+}
+
+func (v *View) addProto(name string, now time.Time, bytes float64) {
+	v.protoEntry(name).Add(now, bytes)
 }
 
 // AddBaseline injects background (non-simulated) traffic volume for a
@@ -256,7 +295,7 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 	}
 	wire := int64(dg.OnWire()) * rep
 	payload := int64(len(dg.Payload)) * rep
-	v.addProto(v.proto(dg), now, float64(wire))
+	v.protoSeries(dg).Add(now, float64(wire))
 	v.billingBucket.Add(now, float64(wire))
 	v.mPackets.Add(rep)
 
@@ -274,7 +313,8 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 			amp := v.amp(dg.IP.Src)
 			amp.PayloadOut += payload
 			amp.WireOut += wire
-			amp.Victims.Add(dg.IP.Dst)
+			// pair() maintains amp.Victims: the set gains the victim exactly
+			// when the perVictim entry is created.
 			ps := amp.pair(dg.IP.Dst, now)
 			ps.payloadOut += payload
 			ps.wireOut += wire
@@ -285,7 +325,10 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 			vic.PayloadIn += payload
 			vic.WireIn += wire
 			vic.Packets += rep
-			vic.Amplifiers.Add(dg.IP.Src)
+			if !vic.lastAmpOK || vic.lastAmp != dg.IP.Src {
+				vic.Amplifiers.Add(dg.IP.Src)
+				vic.lastAmp, vic.lastAmpOK = dg.IP.Src, true
+			}
 			vic.Last = now
 			vic.Ports.Add(int(dg.UDP.DstPort), rep)
 			vic.Hourly.Add(now, float64(wire))
@@ -326,25 +369,37 @@ func (v *View) Observe(dg *packet.Datagram, now time.Time) {
 }
 
 func (v *View) amp(a netaddr.Addr) *AmpStats {
+	if v.lastAmp != nil && v.lastAmpAddr == a {
+		return v.lastAmp
+	}
 	s, ok := v.amps[a]
 	if !ok {
 		s = &AmpStats{Addr: a, Victims: netaddr.NewSet(0), perVictim: make(map[netaddr.Addr]*pairStats)}
 		v.amps[a] = s
 		v.mAmps.SetInt(int64(len(v.amps)))
 	}
+	v.lastAmpAddr, v.lastAmp = a, s
 	return s
 }
 
 func (a *AmpStats) pair(victim netaddr.Addr, now time.Time) *pairStats {
+	if a.lastPair != nil && a.lastVictim == victim {
+		return a.lastPair
+	}
 	p, ok := a.perVictim[victim]
 	if !ok {
 		p = &pairStats{first: now, last: now}
 		a.perVictim[victim] = p
+		a.Victims.Add(victim)
 	}
+	a.lastVictim, a.lastPair = victim, p
 	return p
 }
 
 func (v *View) victim(a netaddr.Addr, now time.Time) *VictimStats {
+	if v.lastVic != nil && v.lastVicAddr == a {
+		return v.lastVic
+	}
 	s, ok := v.victims[a]
 	if !ok {
 		s = &VictimStats{Addr: a, Amplifiers: netaddr.NewSet(0), First: now, Last: now,
@@ -352,6 +407,7 @@ func (v *View) victim(a netaddr.Addr, now time.Time) *VictimStats {
 		v.victims[a] = s
 		v.mVictims.SetInt(int64(len(v.victims)))
 	}
+	v.lastVicAddr, v.lastVic = a, s
 	return s
 }
 

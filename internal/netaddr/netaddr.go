@@ -176,8 +176,14 @@ type Set map[Addr]struct{}
 // NewSet returns an empty set with capacity hint n.
 func NewSet(n int) Set { return make(Set, n) }
 
-// Add inserts addr.
-func (s Set) Add(a Addr) { s[a] = struct{}{} }
+// Add inserts addr. The membership probe first is deliberate: taps add the
+// same few addresses millions of times, and a map read on the hit path is
+// far cheaper than an unconditional assign.
+func (s Set) Add(a Addr) {
+	if _, ok := s[a]; !ok {
+		s[a] = struct{}{}
+	}
+}
 
 // Has reports membership.
 func (s Set) Has(a Addr) bool { _, ok := s[a]; return ok }

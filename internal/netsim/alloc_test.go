@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"ntpddos/internal/netaddr"
+	"ntpddos/internal/packet"
+	"ntpddos/internal/vtime"
+)
+
+// TestFabricDeliveryAllocBudget is the regression wall for the pooled packet
+// plane: once the datagram, event, and batch-item pools are warm, pushing a
+// packet through send→schedule→coalesce→deliver→release must cost at most
+// one allocation per delivered datagram (the budget absorbs amortized map
+// and pool-slice growth; the steady state is zero).
+func TestFabricDeliveryAllocBudget(t *testing.T) {
+	var clock vtime.Clock
+	sched := vtime.NewScheduler(&clock)
+	nw := New(sched, nil)
+	src := netaddr.MustParseAddr("10.0.0.1")
+	dst := netaddr.MustParseAddr("10.0.0.2")
+	delivered := 0
+	nw.Register(dst, HostFunc(func(_ *Network, _ *packet.Datagram, _ time.Time) {
+		delivered++
+	}))
+	payload := []byte("0123456789abcdef0123456789abcdef")
+
+	const batch = 16
+	run := func() {
+		for i := 0; i < batch; i++ {
+			nw.SendUDP(src, 5000, dst, 123, TTLLinux, payload)
+		}
+		sched.Drain()
+	}
+	run() // warm every pool
+	warm := delivered
+
+	avg := testing.AllocsPerRun(50, run)
+	if perDG := avg / batch; perDG > 1 {
+		t.Errorf("fabric delivery costs %.2f allocs per datagram, budget is 1 (%.1f per %d-packet drain)",
+			perDG, avg, batch)
+	}
+	if delivered <= warm {
+		t.Fatal("measurement loop delivered nothing")
+	}
+}
+
+// TestFabricSendScratchDoesNotPinPayload guards the convenience-send scratch:
+// the fabric copies the payload and must drop the caller's reference.
+func TestFabricSendScratchDoesNotPinPayload(t *testing.T) {
+	var clock vtime.Clock
+	sched := vtime.NewScheduler(&clock)
+	nw := New(sched, nil)
+	nw.SendUDP(1, 1, 2, 2, TTLLinux, []byte("x"))
+	if nw.sendScratch.Payload != nil {
+		t.Fatal("sendScratch retains the caller's payload buffer")
+	}
+	sched.Drain()
+}

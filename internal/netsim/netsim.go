@@ -62,14 +62,33 @@ type Stats struct {
 
 // Network is the fabric. It is single-threaded and driven entirely by the
 // scheduler, keeping the simulation deterministic.
+//
+// Datagram ownership: SendFrom copies the caller's datagram (header fields
+// and payload bytes) into a pooled in-flight copy, so senders may reuse
+// their datagram and payload buffers the moment SendFrom returns. The
+// in-flight copy is released back to the pool right after delivery: hosts
+// and taps must not retain the *Datagram or its payload past
+// HandlePacket/Observe — copy what must outlive the call.
 type Network struct {
 	sched  *vtime.Scheduler
 	policy SpoofPolicy
 	hosts  map[netaddr.Addr]Host
-	taps   []Tap
-	stats  Stats
-	m      *Metrics
-	impair *impairState // nil unless SetImpairment armed a nonzero config
+	// hostsGen counts Register/Unregister calls so delivery loops can
+	// memoize host lookups and still notice mid-batch re-binds.
+	hostsGen uint64
+	taps     []Tap
+	stats    Stats
+	m        *Metrics
+	impair   *impairState // nil unless SetImpairment armed a nonzero config
+
+	// dgPool is the free list of in-flight datagram copies. Single-threaded
+	// like everything else on the fabric, so a plain slice beats sync.Pool.
+	dgPool []*packet.Datagram
+
+	// sendScratch backs the SendUDP/SendSpoofed convenience wrappers: since
+	// SendFrom copies the datagram before returning, one reusable struct
+	// serves every convenience send without allocating.
+	sendScratch packet.Datagram
 }
 
 // Metrics is the fabric's optional live instrumentation. All counters are
@@ -158,6 +177,7 @@ func (n *Network) Now() time.Time { return n.sched.Clock().Now() }
 // replaces it (DHCP churn re-binds residential amplifiers this way).
 func (n *Network) Register(a netaddr.Addr, h Host) {
 	n.hosts[a] = h
+	n.hostsGen++
 	if n.m != nil {
 		n.m.Hosts.SetInt(int64(len(n.hosts)))
 	}
@@ -166,6 +186,7 @@ func (n *Network) Register(a netaddr.Addr, h Host) {
 // Unregister removes a binding.
 func (n *Network) Unregister(a netaddr.Addr) {
 	delete(n.hosts, a)
+	n.hostsGen++
 	if n.m != nil {
 		n.m.Hosts.SetInt(int64(len(n.hosts)))
 	}
@@ -285,69 +306,133 @@ func (n *Network) SendFrom(origin netaddr.Addr, dg *packet.Datagram) bool {
 		}
 	}
 
-	delivered := *dg // shallow copy; payload sharing is fine, fabric never mutates it
+	delivered := n.getDatagram(dg)
 	delivered.IP.TTL -= uint8(hops)
 	delivered.Rep = rep
 
 	for _, t := range n.taps {
-		t.Observe(&delivered, n.Now())
+		t.Observe(delivered, n.Now())
 	}
 	if n.m != nil {
 		n.m.TapFanout.Add(int64(len(n.taps)))
 	}
-	n.deliverAfter(dst, &delivered, rep, latency)
+	n.deliverAfter(delivered, latency)
 
 	if dups > 0 {
 		// Duplicates are real wire packets: taps see them, and they arrive
-		// on their own (slower) schedule.
-		dup := delivered
+		// on their own (slower) schedule. The copy gets its own pooled
+		// buffer — both copies are in flight (and released) independently.
+		dup := n.getDatagram(delivered)
 		dup.Rep = dups
 		for _, t := range n.taps {
-			t.Observe(&dup, n.Now())
+			t.Observe(dup, n.Now())
 		}
 		if n.m != nil {
 			n.m.TapFanout.Add(int64(len(n.taps)))
 		}
 		extra := time.Duration(n.impair.src.Int64N(int64(100*time.Millisecond))) + time.Millisecond
-		n.deliverAfter(dst, &dup, dups, latency+extra)
+		n.deliverAfter(dup, latency+extra)
 	}
 	return true
 }
 
-// deliverAfter schedules a datagram copy's arrival: handed to the registered
-// host, or counted dark when nothing answers at dst.
-func (n *Network) deliverAfter(dst netaddr.Addr, cp *packet.Datagram, count int64, after time.Duration) {
-	n.sched.After(after, func(now time.Time) {
-		h, ok := n.hosts[dst]
-		if !ok {
+// getDatagram takes an in-flight copy off the free list (or allocates one)
+// and fills it from src: header fields by value, payload by byte copy into
+// the pooled buffer.
+func (n *Network) getDatagram(src *packet.Datagram) *packet.Datagram {
+	var cp *packet.Datagram
+	if k := len(n.dgPool); k > 0 {
+		cp = n.dgPool[k-1]
+		n.dgPool = n.dgPool[:k-1]
+	} else {
+		cp = &packet.Datagram{}
+	}
+	cp.IP = src.IP
+	cp.UDP = src.UDP
+	cp.Payload = append(cp.Payload[:0], src.Payload...)
+	cp.Rep = src.Rep
+	return cp
+}
+
+// releaseDatagram returns an in-flight copy to the free list, keeping its
+// payload buffer for reuse.
+func (n *Network) releaseDatagram(cp *packet.Datagram) {
+	cp.Payload = cp.Payload[:0]
+	n.dgPool = append(n.dgPool, cp)
+}
+
+// deliverAfter schedules an in-flight copy's arrival. Same-instant arrivals
+// coalesce into one scheduler event (the network is the batch sink), which
+// the scheduler guarantees is order-identical to one event per packet.
+func (n *Network) deliverAfter(cp *packet.Datagram, after time.Duration) {
+	n.sched.AtBatch(n.Now().Add(after), n, cp)
+}
+
+// RunBatch implements vtime.BatchSink: it delivers a batch of same-instant
+// in-flight datagrams — handed to the registered host, or counted dark when
+// nothing answers — releasing each copy back to the pool afterwards.
+func (n *Network) RunBatch(now time.Time, items []any) {
+	// Same-instant batches are dominated by runs to one destination (trigger
+	// bursts, monlist fragments); memoize the last host lookup, invalidated
+	// whenever a handler re-binds an address mid-batch.
+	var (
+		haveLast bool
+		lastDst  netaddr.Addr
+		lastHost Host
+		lastOK   bool
+	)
+	gen := n.hostsGen
+	for _, item := range items {
+		cp := item.(*packet.Datagram)
+		count := cp.Rep
+		h, ok := lastHost, lastOK
+		if !haveLast || cp.IP.Dst != lastDst {
+			h, ok = n.hosts[cp.IP.Dst]
+			haveLast, lastDst, lastHost, lastOK = true, cp.IP.Dst, h, ok
+		}
+		if ok {
+			n.stats.Delivered += count
+			if n.m != nil {
+				n.m.Delivered.Add(count)
+			}
+			h.HandlePacket(n, cp, now)
+			if n.hostsGen != gen {
+				haveLast, gen = false, n.hostsGen
+			}
+		} else {
 			n.stats.Dark += count
 			if n.m != nil {
 				n.m.Dark.Add(count)
 			}
-			return
 		}
-		n.stats.Delivered += count
-		if n.m != nil {
-			n.m.Delivered.Add(count)
-		}
-		h.HandlePacket(n, cp, now)
-	})
+		n.releaseDatagram(cp)
+	}
 }
 
 // SendUDP is a convenience wrapper building and sending a datagram whose IP
 // source is the true origin (no spoofing), with the sender's OS default TTL.
 func (n *Network) SendUDP(origin netaddr.Addr, srcPort uint16, dst netaddr.Addr, dstPort uint16, ttl uint8, payload []byte) bool {
-	dg := packet.NewDatagram(origin, srcPort, dst, dstPort, payload)
-	dg.IP.TTL = ttl
-	return n.SendFrom(origin, dg)
+	return n.sendScratchFrom(origin, origin, srcPort, dst, dstPort, ttl, payload)
 }
 
 // SendSpoofed builds and sends a datagram whose IP source is forged to
 // victim — the attacker→amplifier trigger packet of a reflection attack.
 func (n *Network) SendSpoofed(origin netaddr.Addr, victim netaddr.Addr, victimPort uint16, dst netaddr.Addr, dstPort uint16, ttl uint8, payload []byte) bool {
-	dg := packet.NewDatagram(victim, victimPort, dst, dstPort, payload)
-	dg.IP.TTL = ttl
-	return n.SendFrom(origin, dg)
+	return n.sendScratchFrom(origin, victim, victimPort, dst, dstPort, ttl, payload)
+}
+
+// sendScratchFrom assembles the datagram in the network's scratch struct and
+// injects it. The payload reference is dropped afterwards so the fabric never
+// pins a sender's buffer.
+func (n *Network) sendScratchFrom(origin, src netaddr.Addr, srcPort uint16, dst netaddr.Addr, dstPort uint16, ttl uint8, payload []byte) bool {
+	dg := &n.sendScratch
+	dg.IP = packet.IPv4{TTL: ttl, Protocol: packet.ProtocolUDP, Src: src, Dst: dst}
+	dg.UDP = packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+	dg.Payload = payload
+	dg.Rep = 1
+	ok := n.SendFrom(origin, dg)
+	dg.Payload = nil
+	return ok
 }
 
 // OS default initial TTLs — the fingerprints behind the paper's observation

@@ -15,13 +15,22 @@ func newNet(policy SpoofPolicy) (*Network, *vtime.Scheduler) {
 	return New(sched, policy), sched
 }
 
+// copyDatagram deep-copies a delivered datagram so a test can inspect it
+// after Drain: the fabric recycles the struct and its payload buffer the
+// moment HandlePacket returns.
+func copyDatagram(dg *packet.Datagram) *packet.Datagram {
+	cp := *dg
+	cp.Payload = append([]byte(nil), dg.Payload...)
+	return &cp
+}
+
 func TestDeliveryToRegisteredHost(t *testing.T) {
 	net, sched := newNet(nil)
 	dst := netaddr.MustParseAddr("10.0.0.2")
 	src := netaddr.MustParseAddr("10.0.0.1")
 	var got *packet.Datagram
 	net.Register(dst, HostFunc(func(_ *Network, dg *packet.Datagram, _ time.Time) {
-		got = dg
+		got = copyDatagram(dg)
 	}))
 	if !net.SendUDP(src, 5000, dst, 123, TTLLinux, []byte("hi")) {
 		t.Fatal("send refused")
@@ -78,7 +87,7 @@ func TestSpoofAllowedByPolicy(t *testing.T) {
 	net, sched := newNet(nil) // nil policy = no BCP38 anywhere
 	var got *packet.Datagram
 	net.Register(amp, HostFunc(func(_ *Network, dg *packet.Datagram, _ time.Time) {
-		got = dg
+		got = copyDatagram(dg)
 	}))
 	net.SendSpoofed(bot, victim, 80, amp, 123, TTLWindows, []byte("q"))
 	sched.Drain()
@@ -204,7 +213,7 @@ func TestHostCanReplyFromHandler(t *testing.T) {
 		nw.SendUDP(server, dg.UDP.DstPort, dg.IP.Src, dg.UDP.SrcPort, TTLLinux, []byte("pong"))
 	}))
 	net.Register(client, HostFunc(func(_ *Network, dg *packet.Datagram, _ time.Time) {
-		reply = dg
+		reply = copyDatagram(dg)
 	}))
 	net.SendUDP(client, 4000, server, 123, TTLLinux, []byte("ping"))
 	sched.Drain()

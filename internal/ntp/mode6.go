@@ -65,13 +65,24 @@ func (m *Mode6) AppendTo(b []byte) []byte {
 
 // DecodeMode6 parses a control-mode message.
 func DecodeMode6(payload []byte) (*Mode6, error) {
+	m := &Mode6{}
+	if err := m.DecodeFromBytes(payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeFromBytes parses a control-mode message into the receiver without
+// allocating: Data aliases payload and the prior contents of m are
+// overwritten.
+func (m *Mode6) DecodeFromBytes(payload []byte) error {
 	if len(payload) < Mode6HeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if payload[0]&0x07 != ModeControl {
-		return nil, ErrBadMode
+		return ErrBadMode
 	}
-	m := &Mode6{
+	*m = Mode6{
 		Response: payload[1]&0x80 != 0,
 		Error:    payload[1]&0x40 != 0,
 		More:     payload[1]&0x20 != 0,
@@ -83,11 +94,11 @@ func DecodeMode6(payload []byte) (*Mode6, error) {
 	}
 	m.Count = binary.BigEndian.Uint16(payload[10:])
 	if int(m.Count) > len(payload)-Mode6HeaderLen {
-		return nil, fmt.Errorf("%w: count %d exceeds %d data bytes",
+		return fmt.Errorf("%w: count %d exceeds %d data bytes",
 			ErrTruncated, m.Count, len(payload)-Mode6HeaderLen)
 	}
 	m.Data = payload[Mode6HeaderLen : Mode6HeaderLen+int(m.Count)]
-	return m, nil
+	return nil
 }
 
 // NewReadVarRequest builds the 12-byte mode 6 readvar probe ("ntpq -c rv"),

@@ -87,13 +87,24 @@ func (m *Mode7) AppendTo(b []byte) []byte {
 
 // DecodeMode7 parses a private-mode packet.
 func DecodeMode7(payload []byte) (*Mode7, error) {
+	m := &Mode7{}
+	if err := m.DecodeFromBytes(payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeFromBytes parses a private-mode packet into the receiver without
+// allocating: Data aliases payload and the prior contents of m are
+// overwritten, so one scratch Mode7 can classify an entire packet stream.
+func (m *Mode7) DecodeFromBytes(payload []byte) error {
 	if len(payload) < Mode7HeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if payload[0]&0x07 != ModePrivate {
-		return nil, ErrBadMode
+		return ErrBadMode
 	}
-	m := &Mode7{
+	*m = Mode7{
 		Response:       payload[0]&0x80 != 0,
 		More:           payload[0]&0x40 != 0,
 		Sequence:       payload[1] & 0x7f,
@@ -106,10 +117,10 @@ func DecodeMode7(payload []byte) (*Mode7, error) {
 	m.ItemSize = binary.BigEndian.Uint16(payload[6:]) & 0x0fff
 	m.Data = payload[Mode7HeaderLen:]
 	if int(m.NItems)*int(m.ItemSize) > len(m.Data) {
-		return nil, fmt.Errorf("%w: %d items of %d bytes in %d data bytes",
+		return fmt.Errorf("%w: %d items of %d bytes in %d data bytes",
 			ErrTruncated, m.NItems, m.ItemSize, len(m.Data))
 	}
-	return m, nil
+	return nil
 }
 
 // NewMonlistRequest builds the canonical 8-byte monlist probe — the packet
@@ -218,31 +229,44 @@ func decodeEntry(data []byte, itemSize int) (MonEntry, error) {
 // table cap must be trimmed by the caller (the daemon), not here: this
 // function is pure wire formatting.
 func BuildMonlistResponse(entries []MonEntry, impl, reqCode uint8) [][]byte {
+	return AppendMonlistResponse(nil, entries, impl, reqCode)
+}
+
+// AppendMonlistResponse is BuildMonlistResponse reusing prev's fragment
+// buffers: the returned slice aliases prev's backing storage where capacity
+// allows, so a daemon re-encoding its table under attack produces no
+// garbage. Fragments previously returned from the same prev become invalid.
+// The wire bytes are identical to BuildMonlistResponse's.
+func AppendMonlistResponse(prev [][]byte, entries []MonEntry, impl, reqCode uint8) [][]byte {
 	itemSize := MonEntrySizeV1
 	if reqCode == ReqMonGetList {
 		itemSize = MonEntrySizeLegacy
 	}
+	// grab hands out prev's i-th buffer (emptied) while out grows over the
+	// same backing array — safe because each index is read before appending
+	// its replacement. Fresh buffers are allocated at the full-fragment
+	// capacity up front so a fragment costs exactly one allocation, ever.
+	fragCap := Mode7HeaderLen + EntriesPerPacket(itemSize)*itemSize
+	out := prev[:0]
+	grab := func(i int) []byte {
+		if i < len(prev) {
+			return prev[i][:0]
+		}
+		return make([]byte, 0, fragCap)
+	}
 	if len(entries) == 0 {
 		m := Mode7{Response: true, Implementation: impl, Request: reqCode,
 			Err: InfoErrNoData}
-		return [][]byte{m.AppendTo(nil)}
+		return append(out, m.AppendTo(grab(0)))
 	}
 	perPacket := EntriesPerPacket(itemSize)
-	var out [][]byte
 	for i := 0; i < len(entries); i += perPacket {
 		end := i + perPacket
 		if end > len(entries) {
 			end = len(entries)
 		}
 		chunk := entries[i:end]
-		data := make([]byte, 0, len(chunk)*itemSize)
-		for j := range chunk {
-			if itemSize == MonEntrySizeV1 {
-				data = chunk[j].appendV1(data)
-			} else {
-				data = chunk[j].appendLegacy(data)
-			}
-		}
+		buf := grab(len(out))
 		m := Mode7{
 			Response:       true,
 			More:           end < len(entries),
@@ -251,9 +275,18 @@ func BuildMonlistResponse(entries []MonEntry, impl, reqCode uint8) [][]byte {
 			Request:        reqCode,
 			NItems:         uint16(len(chunk)),
 			ItemSize:       uint16(itemSize),
-			Data:           data,
 		}
-		out = append(out, m.AppendTo(make([]byte, 0, Mode7HeaderLen+len(data))))
+		// Header first with an empty Data, items appended in place: one
+		// buffer per fragment, no intermediate item-data slice.
+		buf = m.AppendTo(buf)
+		for j := range chunk {
+			if itemSize == MonEntrySizeV1 {
+				buf = chunk[j].appendV1(buf)
+			} else {
+				buf = chunk[j].appendLegacy(buf)
+			}
+		}
+		out = append(out, buf)
 	}
 	return out
 }

@@ -133,18 +133,34 @@ func (h *Header) DecodeFromBytes(data []byte) error {
 // NewClientRequest builds a mode 3 client request with the transmit
 // timestamp set from now.
 func NewClientRequest(now time.Time) *Header {
-	return &Header{Version: 4, Mode: ModeClient, Poll: 6, Precision: -20,
+	h := &Header{}
+	h.SetClientRequest(now)
+	return h
+}
+
+// SetClientRequest overwrites h with a mode 3 client request — the scratch
+// counterpart of NewClientRequest for hot paths that reuse one Header.
+func (h *Header) SetClientRequest(now time.Time) {
+	*h = Header{Version: 4, Mode: ModeClient, Poll: 6, Precision: -20,
 		TransmitTime: ToNTPTime(now)}
 }
 
 // NewServerReply builds the mode 4 reply a server with the given stratum
 // sends to req.
 func NewServerReply(req *Header, stratum uint8, now time.Time) *Header {
+	h := &Header{}
+	h.SetServerReply(req, stratum, now)
+	return h
+}
+
+// SetServerReply overwrites h with the mode 4 reply to req — the scratch
+// counterpart of NewServerReply. req may alias h.
+func (h *Header) SetServerReply(req *Header, stratum uint8, now time.Time) {
 	li := uint8(0)
 	if stratum == StratumUnsynchronized {
 		li = 3 // alarm condition: clock not synchronized
 	}
-	return &Header{
+	*h = Header{
 		LeapIndicator: li,
 		Version:       req.Version,
 		Mode:          ModeServer,

@@ -14,7 +14,7 @@
 package ntpd
 
 import (
-	"container/list"
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -130,9 +130,16 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	// MRU monitor list: most-recent-first, capped at 600 entries.
-	mru   *list.List // of *mruEntry
-	index map[netaddr.Addr]*list.Element
+	// MRU monitor list: most-recent-first, capped at 600 entries. Entries
+	// live in one contiguous slab linked by int32 indices (-1 = none):
+	// no per-client allocation, nothing for the GC to chase, and the
+	// monlist render walk stays within one array.
+	mruStore []mruEntry
+	mruFree  []int32
+	mruHead  int32
+	mruTail  int32
+	mruLen   int
+	index    map[netaddr.Addr]int32
 
 	// Counters for analysis convenience.
 	QueriesSeen int64
@@ -153,16 +160,86 @@ type Server struct {
 	cacheGen   int64
 	cacheAt    time.Time
 	cacheFrags [][]byte
+
+	// Scratch state for the zero-alloc reply path. SendFrom copies the
+	// datagram and payload into the fabric's pool before returning, so one
+	// reusable datagram and one payload buffer serve every reply, and the
+	// readvar response fragments are encoded once (the sequence field is
+	// patched in place per query — it is the only per-query wire state).
+	out      packet.Datagram
+	buf      []byte
+	varFrags [][]byte
+	entries  []ntp.MonEntry // monlistEntries scratch, rebuilt per cache miss
 }
 
+// mruEntry is one monitor-table row. Timestamps are virtual-clock UnixNano
+// values: the wire encoding divides nanosecond deltas by time.Second with
+// the same integer truncation time.Time.Sub arithmetic produced, so the
+// observable monlist bytes are unchanged.
 type mruEntry struct {
-	addr      netaddr.Addr
-	port      uint16
-	mode      uint8
-	version   uint8
-	count     int64
-	firstSeen time.Time
-	lastSeen  time.Time
+	addr        netaddr.Addr
+	port        uint16
+	mode        uint8
+	version     uint8
+	count       int64
+	firstSeenNs int64
+	lastSeenNs  int64
+	prev, next  int32 // slab indices, mruNil = none
+}
+
+const mruNil = int32(-1)
+
+// mruAlloc returns a slab slot for a new entry, reusing freed slots first.
+// It may grow the slab, so callers must not hold entry pointers across it.
+func (s *Server) mruAlloc() int32 {
+	if n := len(s.mruFree); n > 0 {
+		i := s.mruFree[n-1]
+		s.mruFree = s.mruFree[:n-1]
+		return i
+	}
+	s.mruStore = append(s.mruStore, mruEntry{})
+	return int32(len(s.mruStore) - 1)
+}
+
+// mruPushFront links slot i as the most recent entry.
+func (s *Server) mruPushFront(i int32) {
+	e := &s.mruStore[i]
+	e.prev = mruNil
+	e.next = s.mruHead
+	if s.mruHead != mruNil {
+		s.mruStore[s.mruHead].prev = i
+	} else {
+		s.mruTail = i
+	}
+	s.mruHead = i
+	s.mruLen++
+}
+
+// mruUnlink removes slot i from the list without touching the index or the
+// free list.
+func (s *Server) mruUnlink(i int32) {
+	e := &s.mruStore[i]
+	if e.prev != mruNil {
+		s.mruStore[e.prev].next = e.next
+	} else {
+		s.mruHead = e.next
+	}
+	if e.next != mruNil {
+		s.mruStore[e.next].prev = e.prev
+	} else {
+		s.mruTail = e.prev
+	}
+	e.prev, e.next = mruNil, mruNil
+	s.mruLen--
+}
+
+// mruMoveToFront re-links slot i as the most recent entry.
+func (s *Server) mruMoveToFront(i int32) {
+	if s.mruHead == i {
+		return
+	}
+	s.mruUnlink(i)
+	s.mruPushFront(i)
 }
 
 // New builds a server from cfg, applying defaults: implementation XNTPD,
@@ -183,7 +260,8 @@ func New(cfg Config) *Server {
 	if cfg.Stratum == 0 {
 		cfg.Stratum = 3
 	}
-	return &Server{cfg: cfg, mru: list.New(), index: make(map[netaddr.Addr]*list.Element)}
+	return &Server{cfg: cfg, mruHead: mruNil, mruTail: mruNil,
+		index: make(map[netaddr.Addr]int32)}
 }
 
 // Config returns the server's configuration.
@@ -204,7 +282,7 @@ func (s *Server) Patch() { s.cfg.MonlistEnabled = false }
 func (s *Server) PatchMode6() { s.cfg.Mode6Enabled = false }
 
 // MRULen returns the current monitor table size.
-func (s *Server) MRULen() int { return s.mru.Len() }
+func (s *Server) MRULen() int { return s.mruLen }
 
 // Record notes a packet from a client in the MRU list, honouring the
 // 600-entry cap with least-recently-seen eviction. rep is the Rep batching
@@ -226,26 +304,30 @@ func (s *Server) Record(addr netaddr.Addr, port uint16, mode, version uint8, rep
 		}
 	}
 	s.mruGen++
-	if el, ok := s.index[addr]; ok {
-		e := el.Value.(*mruEntry)
+	nowNs := now.UnixNano()
+	if i, ok := s.index[addr]; ok {
+		e := &s.mruStore[i]
 		e.count += rep
-		e.lastSeen = now
+		e.lastSeenNs = nowNs
 		e.port = port
 		e.mode = mode
 		e.version = version
-		s.mru.MoveToFront(el)
+		s.mruMoveToFront(i)
 		return
 	}
-	e := &mruEntry{addr: addr, port: port, mode: mode, version: version,
-		count: rep, firstSeen: now, lastSeen: now}
-	s.index[addr] = s.mru.PushFront(e)
+	i := s.mruAlloc()
+	s.mruStore[i] = mruEntry{addr: addr, port: port, mode: mode, version: version,
+		count: rep, firstSeenNs: nowNs, lastSeenNs: nowNs, prev: mruNil, next: mruNil}
+	s.index[addr] = i
+	s.mruPushFront(i)
 	if m := s.cfg.Metrics; m != nil {
 		m.MRUEntries.Inc()
 	}
-	for s.mru.Len() > ntp.MaxMonlistEntries {
-		back := s.mru.Back()
-		delete(s.index, back.Value.(*mruEntry).addr)
-		s.mru.Remove(back)
+	for s.mruLen > ntp.MaxMonlistEntries {
+		back := s.mruTail
+		delete(s.index, s.mruStore[back].addr)
+		s.mruUnlink(back)
+		s.mruFree = append(s.mruFree, back)
 		if m := s.cfg.Metrics; m != nil {
 			m.MRUEntries.Dec()
 		}
@@ -258,13 +340,14 @@ func (s *Server) Record(addr netaddr.Addr, port uint16, mode, version uint8, rep
 // what bounds the §4.2 observation window (and the resulting ~3.8×
 // under-sampling of attacks).
 func (s *Server) ExpireOlderThan(cutoff time.Time) {
-	var next *list.Element
-	for el := s.mru.Front(); el != nil; el = next {
-		next = el.Next()
-		e := el.Value.(*mruEntry)
-		if e.lastSeen.Before(cutoff) {
-			delete(s.index, e.addr)
-			s.mru.Remove(el)
+	cutoffNs := cutoff.UnixNano()
+	var next int32
+	for i := s.mruHead; i != mruNil; i = next {
+		next = s.mruStore[i].next
+		if s.mruStore[i].lastSeenNs < cutoffNs {
+			delete(s.index, s.mruStore[i].addr)
+			s.mruUnlink(i)
+			s.mruFree = append(s.mruFree, i)
 			s.mruGen++
 			if m := s.cfg.Metrics; m != nil {
 				m.MRUEntries.Dec()
@@ -278,19 +361,21 @@ func (s *Server) ExpireOlderThan(cutoff time.Time) {
 // Without it the gauge would leak the dead table's entries forever.
 func (s *Server) DetachMRU() {
 	if m := s.cfg.Metrics; m != nil {
-		m.MRUEntries.Add(float64(-s.mru.Len()))
+		m.MRUEntries.Add(float64(-s.mruLen))
 	}
 }
 
-// monlistEntries renders the MRU list as wire entries, most recent first.
+// monlistEntries renders the MRU list as wire entries, most recent first,
+// into the server's scratch slice (valid until the next call).
 // Inter-arrival and last-seen are computed at query time, like ntpd does.
 func (s *Server) monlistEntries(now time.Time) []ntp.MonEntry {
-	out := make([]ntp.MonEntry, 0, s.mru.Len())
-	for el := s.mru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*mruEntry)
+	out := s.entries[:0]
+	nowNs := now.UnixNano()
+	for i := s.mruHead; i != mruNil; i = s.mruStore[i].next {
+		e := &s.mruStore[i]
 		var avg uint32
 		if e.count > 1 {
-			avg = uint32(e.lastSeen.Sub(e.firstSeen) / time.Second / time.Duration(e.count-1))
+			avg = uint32((e.lastSeenNs - e.firstSeenNs) / int64(time.Second) / (e.count - 1))
 		}
 		out = append(out, ntp.MonEntry{
 			Addr:        e.addr,
@@ -300,9 +385,10 @@ func (s *Server) monlistEntries(now time.Time) []ntp.MonEntry {
 			Version:     e.version,
 			Port:        e.port,
 			AvgInterval: avg,
-			LastSeen:    uint32(now.Sub(e.lastSeen) / time.Second),
+			LastSeen:    uint32((nowNs - e.lastSeenNs) / int64(time.Second)),
 		})
 	}
+	s.entries = out
 	return out
 }
 
@@ -434,14 +520,15 @@ func (s *Server) handleClient(nw *netsim.Network, dg *packet.Datagram, now time.
 		return
 	}
 	s.Record(dg.IP.Src, dg.UDP.SrcPort, ntp.ModeClient, req.Version, dg.Rep, now)
-	rep := ntp.NewServerReply(&req, uint8(s.cfg.Stratum), now)
-	s.reply(nw, dg, rep.AppendTo(nil))
+	req.SetServerReply(&req, uint8(s.cfg.Stratum), now)
+	s.buf = req.AppendTo(s.buf[:0])
+	s.reply(nw, dg, s.buf)
 }
 
 // handleMode7 serves (or ignores) a private-mode request.
 func (s *Server) handleMode7(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
-	m, err := ntp.DecodeMode7(dg.Payload)
-	if err != nil || m.Response {
+	var m ntp.Mode7
+	if err := m.DecodeFromBytes(dg.Payload); err != nil || m.Response {
 		return
 	}
 	s.Record(dg.IP.Src, dg.UDP.SrcPort, ntp.ModePrivate, 2, dg.Rep, now)
@@ -453,23 +540,31 @@ func (s *Server) handleMode7(nw *netsim.Network, dg *packet.Datagram, now time.T
 	}
 	switch m.Request {
 	case ntp.ReqMonGetList, ntp.ReqMonGetList1:
-		s.sendMonlist(nw, dg, m.Request, now)
+		s.sendMonlist(nw, dg.IP.Src, dg.UDP.SrcPort, dg.Rep, m.Request, now)
 		if s.cfg.MegaAmp {
 			s.startMegaReplay(nw, dg, m.Request)
 		}
 	case ntp.ReqPeerList:
 		for _, frag := range ntp.BuildPeerListResponse(s.peerEntries(), s.cfg.Implementation) {
-			out := packet.NewDatagram(s.cfg.Addr, ntp.Port, dg.IP.Src, dg.UDP.SrcPort, frag)
-			out.IP.TTL = s.cfg.Profile.TTL
-			out.Rep = dg.Rep
-			if nw.SendFrom(s.cfg.Addr, out) {
-				s.BytesSent += int64(out.OnWire()) * out.Rep
+			if s.send(nw, dg.IP.Src, dg.UDP.SrcPort, frag, dg.Rep) {
+				s.BytesSent += int64(s.out.OnWire()) * dg.Rep
 				if m := s.cfg.Metrics; m != nil {
-					m.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+					m.BytesSent.Add(int64(s.out.OnWire()) * dg.Rep)
 				}
 			}
 		}
 	}
+}
+
+// send builds a reply in the server's scratch datagram and hands it to the
+// fabric. The scratch is reusable the moment SendFrom returns: the fabric
+// copies both header and payload into its own pooled datagram.
+func (s *Server) send(nw *netsim.Network, dst netaddr.Addr, dstPort uint16, payload []byte, rep int64) bool {
+	s.out.IP = packet.IPv4{TTL: s.cfg.Profile.TTL, Protocol: packet.ProtocolUDP, Src: s.cfg.Addr, Dst: dst}
+	s.out.UDP = packet.UDP{SrcPort: ntp.Port, DstPort: dstPort}
+	s.out.Payload = payload
+	s.out.Rep = rep
+	return nw.SendFrom(s.cfg.Addr, &s.out)
 }
 
 // peerEntries renders the configured upstream associations.
@@ -481,20 +576,20 @@ func (s *Server) peerEntries() []ntp.PeerEntry {
 	return out
 }
 
-// sendMonlist emits the fragmented monlist response toward the packet's
-// (possibly spoofed) source.
-func (s *Server) sendMonlist(nw *netsim.Network, trigger *packet.Datagram, reqCode uint8, now time.Time) {
-	fragments := s.monlistFragments(reqCode, trigger.Rep, now)
+// sendMonlist emits the fragmented monlist response toward the trigger's
+// (possibly spoofed) source address and port. It deliberately takes the
+// addressing by value, not the trigger datagram: the fabric owns delivered
+// datagrams and recycles them after HandlePacket returns, so nothing here
+// may outlive the call holding one.
+func (s *Server) sendMonlist(nw *netsim.Network, victim netaddr.Addr, victimPort uint16, rep int64, reqCode uint8, now time.Time) {
+	fragments := s.monlistFragments(reqCode, rep, now)
 	for _, frag := range fragments {
-		out := packet.NewDatagram(s.cfg.Addr, ntp.Port, trigger.IP.Src, trigger.UDP.SrcPort, frag)
-		out.IP.TTL = s.cfg.Profile.TTL
-		out.Rep = trigger.Rep
-		if nw.SendFrom(s.cfg.Addr, out) {
-			s.MonlistSent += out.Rep
-			s.BytesSent += int64(out.OnWire()) * out.Rep
+		if s.send(nw, victim, victimPort, frag, rep) {
+			s.MonlistSent += rep
+			s.BytesSent += int64(s.out.OnWire()) * rep
 			if m := s.cfg.Metrics; m != nil {
-				m.MonlistSent.Add(out.Rep)
-				m.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+				m.MonlistSent.Add(rep)
+				m.BytesSent.Add(int64(s.out.OnWire()) * rep)
 			}
 		}
 	}
@@ -505,13 +600,22 @@ func (s *Server) sendMonlist(nw *netsim.Network, trigger *packet.Datagram, reqCo
 // every ten minutes rather than per trigger. Survey probes may therefore
 // see a table a few minutes old — consistent with the paper's observation
 // that the probe is "typically but not always" the topmost entry.
+//
+// The returned fragments are valid until the next rebuild (they reuse the
+// cache's buffers); the fabric copies them during SendFrom and the socket
+// path writes them out before processing another packet, so neither caller
+// outlives them.
 func (s *Server) monlistFragments(reqCode uint8, rep int64, now time.Time) [][]byte {
 	const maxGenDrift = 500
 	if s.cacheFrags != nil && s.cacheReq == reqCode &&
 		s.mruGen-s.cacheGen <= maxGenDrift && now.Sub(s.cacheAt) < 10*time.Minute {
 		return s.cacheFrags
 	}
-	frags := ntp.BuildMonlistResponse(s.monlistEntries(now), s.cfg.Implementation, reqCode)
+	prev := s.cacheFrags
+	if s.cacheReq != reqCode {
+		prev = nil // item size changed: stale buffers would be mis-sized
+	}
+	frags := ntp.AppendMonlistResponse(prev, s.monlistEntries(now), s.cfg.Implementation, reqCode)
 	s.cacheFrags = frags
 	s.cacheReq = reqCode
 	s.cacheGen = s.mruGen
@@ -542,32 +646,34 @@ func (s *Server) startMegaReplay(nw *netsim.Network, trigger *packet.Datagram, r
 			// Each replay batch re-counts the querier, exactly the behaviour
 			// the paper reverse-engineered from the repeating tables.
 			s.Record(src, sport, ntp.ModePrivate, 2, perEvent, now)
-			replay := *trigger
-			replay.Rep = perEvent
-			s.sendMonlist(nw, &replay, reqCode, now)
+			s.sendMonlist(nw, src, sport, perEvent, reqCode, now)
 		})
 	}
 }
 
 // handleMode6 serves a readvar (version) request.
 func (s *Server) handleMode6(nw *netsim.Network, dg *packet.Datagram, now time.Time) {
-	m, err := ntp.DecodeMode6(dg.Payload)
-	if err != nil || m.Response {
+	var m ntp.Mode6
+	if err := m.DecodeFromBytes(dg.Payload); err != nil || m.Response {
 		return
 	}
 	s.Record(dg.IP.Src, dg.UDP.SrcPort, ntp.ModeControl, 2, dg.Rep, now)
 	if !s.cfg.Mode6Enabled || m.OpCode != ntp.OpReadVar {
 		return
 	}
-	for _, frag := range ntp.BuildReadVarResponse(m.Sequence, s.readVarText()) {
-		out := packet.NewDatagram(s.cfg.Addr, ntp.Port, dg.IP.Src, dg.UDP.SrcPort, frag)
-		out.IP.TTL = s.cfg.Profile.TTL
-		out.Rep = dg.Rep
-		if nw.SendFrom(s.cfg.Addr, out) {
-			s.BytesSent += int64(out.OnWire()) * out.Rep
+	if s.varFrags == nil {
+		// The variable text is a pure function of the config, so the
+		// fragments are encoded once per daemon; only the echoed sequence
+		// number differs between queries, patched below.
+		s.varFrags = ntp.BuildReadVarResponse(0, s.readVarText())
+	}
+	for _, frag := range s.varFrags {
+		binary.BigEndian.PutUint16(frag[2:], m.Sequence)
+		if s.send(nw, dg.IP.Src, dg.UDP.SrcPort, frag, dg.Rep) {
+			s.BytesSent += int64(s.out.OnWire()) * dg.Rep
 			if mm := s.cfg.Metrics; mm != nil {
-				mm.Mode6Sent.Add(out.Rep)
-				mm.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+				mm.Mode6Sent.Add(dg.Rep)
+				mm.BytesSent.Add(int64(s.out.OnWire()) * dg.Rep)
 			}
 		}
 	}
@@ -582,13 +688,10 @@ func (s *Server) refID() string {
 
 // reply sends a unicast response back to the querying datagram's source.
 func (s *Server) reply(nw *netsim.Network, dg *packet.Datagram, payload []byte) {
-	out := packet.NewDatagram(s.cfg.Addr, ntp.Port, dg.IP.Src, dg.UDP.SrcPort, payload)
-	out.IP.TTL = s.cfg.Profile.TTL
-	out.Rep = dg.Rep
-	if nw.SendFrom(s.cfg.Addr, out) {
-		s.BytesSent += int64(out.OnWire()) * out.Rep
+	if s.send(nw, dg.IP.Src, dg.UDP.SrcPort, payload, dg.Rep) {
+		s.BytesSent += int64(s.out.OnWire()) * dg.Rep
 		if m := s.cfg.Metrics; m != nil {
-			m.BytesSent.Add(int64(out.OnWire()) * out.Rep)
+			m.BytesSent.Add(int64(s.out.OnWire()) * dg.Rep)
 		}
 	}
 }

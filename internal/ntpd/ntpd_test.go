@@ -27,13 +27,17 @@ func vulnerableServer(addr string) *Server {
 	})
 }
 
-// collector gathers packets delivered to one address.
+// collector gathers packets delivered to one address. It deep-copies each
+// datagram because the fabric recycles the delivered struct (and its payload
+// buffer) as soon as HandlePacket returns.
 type collector struct {
 	packets []*packet.Datagram
 }
 
 func (c *collector) HandlePacket(_ *netsim.Network, dg *packet.Datagram, _ time.Time) {
-	c.packets = append(c.packets, dg)
+	cp := *dg
+	cp.Payload = append([]byte(nil), dg.Payload...)
+	c.packets = append(c.packets, &cp)
 }
 
 func TestClientGetsServerReply(t *testing.T) {

@@ -1,0 +1,41 @@
+package packet
+
+import "testing"
+
+var allocSinkBuf []byte
+
+// TestDatagramCodecZeroAlloc pins the full-stack datagram codec at zero
+// allocations: AppendEncode lays header and payload into the caller's buffer
+// with no intermediate segment, and DecodeFromBytes parses into a scratch
+// struct whose payload aliases the input.
+func TestDatagramCodecZeroAlloc(t *testing.T) {
+	payload := []byte("monlist response fragment payload bytes")
+	d := NewDatagram(0x0a000001, 123, 0x0a000002, 33000, payload)
+	buf := make([]byte, 0, MTU)
+
+	if n := testing.AllocsPerRun(100, func() {
+		out, err := d.AppendEncode(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocSinkBuf = out
+	}); n != 0 {
+		t.Errorf("AppendEncode: %.1f allocs/op, want 0", n)
+	}
+
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Datagram
+	if n := testing.AllocsPerRun(100, func() {
+		if err := dec.DecodeFromBytes(wire); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeFromBytes: %.1f allocs/op, want 0", n)
+	}
+	if string(dec.Payload) != string(payload) || dec.UDP.DstPort != 33000 {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}

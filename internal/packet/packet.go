@@ -89,7 +89,19 @@ var (
 // AppendTo serializes the header followed by payload, computing length and
 // checksum fields.
 func (h *IPv4) AppendTo(b []byte, payload []byte) ([]byte, error) {
-	total := IPv4HeaderLen + len(payload)
+	b, err := h.AppendHeaderTo(b, len(payload))
+	if err != nil {
+		return b, err
+	}
+	return append(b, payload...), nil
+}
+
+// AppendHeaderTo serializes just the header for a packet whose payload will
+// occupy payloadLen bytes — the caller appends the payload itself. This is
+// the zero-copy half of AppendTo: it lets a datagram encoder lay out header
+// and payload into one buffer without an intermediate segment allocation.
+func (h *IPv4) AppendHeaderTo(b []byte, payloadLen int) ([]byte, error) {
+	total := IPv4HeaderLen + payloadLen
 	if total > MTU {
 		return b, fmt.Errorf("%w: ip length %d", ErrTooBig, total)
 	}
@@ -107,7 +119,7 @@ func (h *IPv4) AppendTo(b []byte, payload []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, uint32(h.Dst))
 	h.Checksum = ipChecksum(b[start : start+IPv4HeaderLen])
 	binary.BigEndian.PutUint16(b[start+10:], h.Checksum)
-	return append(b, payload...), nil
+	return b, nil
 }
 
 // DecodeFromBytes parses an IPv4 header from data, returning the payload.
@@ -250,28 +262,48 @@ func NewDatagram(src netaddr.Addr, srcPort uint16, dst netaddr.Addr, dstPort uin
 
 // Encode serializes the full IP packet (IPv4 header + UDP header + payload).
 func (d *Datagram) Encode() ([]byte, error) {
-	seg := d.UDP.AppendTo(nil, d.Payload, d.IP.Src, d.IP.Dst)
+	return d.AppendEncode(make([]byte, 0, d.IPLen()))
+}
+
+// AppendEncode serializes the full IP packet into b and returns the extended
+// slice. Header and payload are laid out in place — no intermediate segment
+// buffer — so encoding into a buffer with capacity allocates nothing.
+func (d *Datagram) AppendEncode(b []byte) ([]byte, error) {
 	d.IP.Protocol = ProtocolUDP
-	return d.IP.AppendTo(make([]byte, 0, IPv4HeaderLen+len(seg)), seg)
+	b, err := d.IP.AppendHeaderTo(b, UDPHeaderLen+len(d.Payload))
+	if err != nil {
+		return b, err
+	}
+	return d.UDP.AppendTo(b, d.Payload, d.IP.Src, d.IP.Dst), nil
 }
 
 // DecodeDatagram parses a full IP packet into a Datagram. Non-UDP protocols
 // are rejected.
 func DecodeDatagram(data []byte) (*Datagram, error) {
 	var d Datagram
-	ipPayload, err := d.IP.DecodeFromBytes(data)
-	if err != nil {
+	if err := d.DecodeFromBytes(data); err != nil {
 		return nil, err
 	}
+	return &d, nil
+}
+
+// DecodeFromBytes parses a full IP packet into the receiver, allocating
+// nothing: Payload aliases data. The receiver's prior contents are
+// overwritten, so one scratch Datagram can decode an entire capture.
+func (d *Datagram) DecodeFromBytes(data []byte) error {
+	ipPayload, err := d.IP.DecodeFromBytes(data)
+	if err != nil {
+		return err
+	}
 	if d.IP.Protocol != ProtocolUDP {
-		return nil, fmt.Errorf("packet: protocol %d is not UDP", d.IP.Protocol)
+		return fmt.Errorf("packet: protocol %d is not UDP", d.IP.Protocol)
 	}
 	d.Payload, err = d.UDP.DecodeFromBytes(ipPayload, d.IP.Src, d.IP.Dst)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	d.Rep = 1
-	return &d, nil
+	return nil
 }
 
 // IPLen returns the IP-layer length the datagram will have when encoded.

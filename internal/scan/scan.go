@@ -232,7 +232,9 @@ func (p *Prober) HandlePacket(_ *netsim.Network, dg *packet.Datagram, now time.T
 		p.mv.respBytes.Add(int64(dg.OnWire()) * rep)
 	}
 	if p.KeepPayloads && len(r.Payloads) < p.MaxPayloadsPerTarget {
-		r.Payloads = append(r.Payloads, dg.Payload)
+		// Copy the bytes: the fabric recycles the delivered datagram (and
+		// its payload buffer) as soon as HandlePacket returns.
+		r.Payloads = append(r.Payloads, append([]byte(nil), dg.Payload...))
 		r.TTLs = append(r.TTLs, dg.IP.TTL)
 	}
 }

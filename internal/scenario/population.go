@@ -27,11 +27,17 @@ var endHostBatchWeights = map[asdb.ASType]float64{
 }
 
 func (w *World) pickAS(weights map[asdb.ASType]float64) *asdb.AS {
+	// Densify the per-type weights once per pick: the weight callback runs
+	// for every AS in the registry, and an array index beats a map hash.
+	var vec [asdb.NumASTypes]float64
+	for t, wt := range weights {
+		vec[t] = wt
+	}
 	return w.DB.PickWeighted(w.Src, func(as *asdb.AS) float64 {
 		if as.Name == asdb.NameMerit || as.Name == asdb.NameCSU || as.Name == asdb.NameFRGP {
 			return 0 // local sites are populated explicitly
 		}
-		return weights[as.Type]
+		return vec[as.Type]
 	})
 }
 
@@ -180,6 +186,7 @@ func (w *World) registerAmplifier(s *server) {
 	}
 	s.clientTableSize = w.drawClientTableSize()
 	w.amplifiers[s.srv.Addr()] = s
+	w.ampList = nil
 	if w.Src.Bool(0.092) { // §6.2: 9.2% of monlist uniques are open resolvers
 		w.DNSPool.Add(s.srv.Addr())
 	}
@@ -323,6 +330,7 @@ func (w *World) makeMega(s *server, repeats int64, role ntpd.Role) {
 	w.Servers[cfg.Addr] = s
 	w.Net.Register(cfg.Addr, rebuilt)
 	w.amplifiers[cfg.Addr] = s
+	w.ampList = nil
 	w.MegaAddrs.Add(cfg.Addr)
 }
 

@@ -405,6 +405,7 @@ func allZero(w []float64) bool {
 func (w *World) patch(s *server) {
 	s.srv.Patch()
 	delete(w.amplifiers, s.srv.Addr())
+	w.ampList = nil
 }
 
 // applyDHCPChurn moves a quarter of the residential amplifiers to fresh

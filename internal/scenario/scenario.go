@@ -294,8 +294,11 @@ type World struct {
 
 	// Servers maps every NTP daemon by address (amplifiers and plain).
 	Servers map[netaddr.Addr]*server
-	// amplifiers is the current monlist-answering subset.
+	// amplifiers is the current monlist-answering subset. ampList caches the
+	// sorted address snapshot (nil when stale); rebuilds allocate a fresh
+	// slice, so closures holding an older snapshot stay valid.
 	amplifiers map[netaddr.Addr]*server
+	ampList    []netaddr.Addr
 	batches    map[int][]*server
 	nextBatch  int
 
@@ -388,9 +391,13 @@ func (w *World) AmplifierSet() netaddr.Set {
 }
 
 // AmplifierList snapshots the current amplifier addresses as a sorted slice
-// (attacker's harvested list).
+// (attacker's harvested list). The snapshot is cached until the amplifier
+// set next mutates; callers must not modify the returned slice.
 func (w *World) AmplifierList() []netaddr.Addr {
-	return w.AmplifierSet().Sorted()
+	if w.ampList == nil {
+		w.ampList = w.AmplifierSet().Sorted()
+	}
+	return w.ampList
 }
 
 // Build constructs the world: registry, PBL, server population, local ISP

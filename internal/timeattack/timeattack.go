@@ -290,8 +290,12 @@ func (ic *interceptor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now
 				if ic.p.cfg.Metrics != nil {
 					ic.p.cfg.Metrics.Delayed.Inc()
 				}
+				// Deep-copy before holding: the fabric recycles dg (and its
+				// payload buffer) as soon as this HandlePacket returns.
+				held := *dg
+				held.Payload = append([]byte(nil), dg.Payload...)
 				nw.Scheduler().After(ic.t.delay, func(late time.Time) {
-					c.HandlePacket(nw, dg, late)
+					c.HandlePacket(nw, &held, late)
 				})
 				return
 			case ModelDrift:
@@ -317,12 +321,13 @@ func (ic *interceptor) HandlePacket(nw *netsim.Network, dg *packet.Datagram, now
 	c.HandlePacket(nw, dg, now)
 }
 
-// rewrite mutates the decoded header in place and swaps the datagram's
-// payload for the re-encoded packet (the datagram is the recipient's
-// private copy; taps observed the original on the wire).
+// rewrite mutates the decoded header in place and re-encodes it over the
+// datagram's own payload buffer (the datagram is the recipient's private
+// copy; taps observed the original on the wire). h is a decoded value, so
+// overwriting the buffer it came from is safe.
 func (ic *interceptor) rewrite(h *ntp.Header, mutate func(*ntp.Header), dg *packet.Datagram) {
 	mutate(h)
-	dg.Payload = h.AppendTo(nil)
+	dg.Payload = h.AppendTo(dg.Payload[:0])
 	ic.p.rewritten++
 	if ic.p.cfg.Metrics != nil {
 		ic.p.cfg.Metrics.Rewritten.Inc()

@@ -1,0 +1,141 @@
+package vtime
+
+import "math/bits"
+
+// The calendar queue: a bucketed timer wheel for the near future plus a
+// binary heap for the far future, with a small "current" heap holding
+// already-drained events.
+//
+// Layout. The wheel covers a sliding window of calBuckets buckets, each
+// calWidth nanoseconds wide (1<<24 ns ≈ 16.8ms, so the window spans ≈69
+// virtual seconds — comfortably wider than the fabric's 10–240ms delivery
+// latencies, which is where the event volume lives). Events beyond the
+// window land in the overflow heap; when the wheel runs dry the window is
+// re-based onto the overflow's minimum and qualifying events are scattered
+// into buckets.
+//
+// Ordering invariant. cursor is the index of the next undrained bucket;
+// every event strictly before cursorNs (the start of that bucket) lives in
+// cur, every event in [cursorNs, baseNs+span) lives in its bucket, and
+// everything later lives in overflow. cur's minimum is therefore the global
+// minimum whenever cur is non-empty, and draining a bucket into cur (then
+// popping cur in (atNs, seq) order) yields exactly the total order the
+// reference heap produces.
+//
+// Cost. push is O(1) into a bucket (amortized heap cost for cur/overflow
+// pushes, which are the minority); pop is O(log b) in the size b of the
+// current bucket, plus an amortized O(1) bitmap scan per bucket advance.
+
+const (
+	calShift   = 24 // log2 of bucket width in ns
+	calWidth   = int64(1) << calShift
+	calBuckets = 4096
+	calSpan    = calWidth * calBuckets
+	calWords   = calBuckets / 64
+)
+
+type calendarQueue struct {
+	cur      eventHeap // events earlier than cursorNs (drained buckets)
+	buckets  [calBuckets][]*event
+	occupied [calWords]uint64
+	baseNs   int64     // window start, aligned to calWidth
+	cursor   int       // next undrained bucket index
+	overflow eventHeap // events at or beyond baseNs+calSpan
+	n        int
+}
+
+func newCalendarQueue() *calendarQueue { return &calendarQueue{} }
+
+func (c *calendarQueue) len() int { return c.n }
+
+func (c *calendarQueue) cursorNs() int64 { return c.baseNs + int64(c.cursor)<<calShift }
+
+func (c *calendarQueue) push(e *event) {
+	c.n++
+	switch {
+	case e.atNs < c.cursorNs():
+		c.cur.push(e)
+	case e.atNs < c.baseNs+calSpan:
+		idx := (e.atNs - c.baseNs) >> calShift
+		c.buckets[idx] = append(c.buckets[idx], e)
+		c.occupied[idx>>6] |= 1 << (idx & 63)
+	default:
+		c.overflow.push(e)
+	}
+}
+
+// advance makes cur non-empty if any event exists: it drains the next
+// occupied bucket into cur, re-basing the window onto the overflow heap
+// when the wheel is empty.
+func (c *calendarQueue) advance() {
+	for len(c.cur) == 0 {
+		idx, ok := c.nextOccupied()
+		if !ok {
+			if len(c.overflow) == 0 {
+				return // genuinely empty
+			}
+			// Wheel dry: slide the window so it starts at the overflow
+			// minimum's bucket and scatter qualifying events in.
+			c.baseNs = c.overflow[0].atNs &^ (calWidth - 1)
+			c.cursor = 0
+			limit := c.baseNs + calSpan
+			for len(c.overflow) > 0 && c.overflow[0].atNs < limit {
+				e := c.overflow.pop()
+				i := (e.atNs - c.baseNs) >> calShift
+				c.buckets[i] = append(c.buckets[i], e)
+				c.occupied[i>>6] |= 1 << (i & 63)
+			}
+			continue
+		}
+		// Drain bucket idx into cur and step the cursor past it. The
+		// bucket's backing array is retained for reuse.
+		b := c.buckets[idx]
+		c.cur = append(c.cur[:0], b...)
+		c.cur.init()
+		for i := range b {
+			b[i] = nil
+		}
+		c.buckets[idx] = b[:0]
+		c.occupied[idx>>6] &^= 1 << (idx & 63)
+		c.cursor = idx + 1
+	}
+}
+
+// nextOccupied scans the occupancy bitmap for the first non-empty bucket at
+// or after the cursor.
+func (c *calendarQueue) nextOccupied() (int, bool) {
+	if c.cursor >= calBuckets {
+		return 0, false
+	}
+	w := c.cursor >> 6
+	word := c.occupied[w] >> (c.cursor & 63) << (c.cursor & 63)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word), true
+		}
+		w++
+		if w >= calWords {
+			return 0, false
+		}
+		word = c.occupied[w]
+	}
+}
+
+func (c *calendarQueue) min() *event {
+	if c.n == 0 {
+		return nil
+	}
+	c.advance()
+	if len(c.cur) == 0 {
+		return nil
+	}
+	return c.cur[0]
+}
+
+func (c *calendarQueue) pop() *event {
+	if c.min() == nil {
+		return nil
+	}
+	c.n--
+	return c.cur.pop()
+}

@@ -1,0 +1,89 @@
+package vtime
+
+// eventHeap is a binary min-heap of events ordered by (atNs, seq). It backs
+// the reference heapQueue, the calendar queue's current and overflow heaps,
+// and is written out by hand (rather than through container/heap) to keep
+// push/pop free of interface boxing on the hot path.
+type eventHeap []*event
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+// init establishes the heap property over arbitrary contents.
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h eventHeap) up(i int) {
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].less(h[child]) {
+			child = r
+		}
+		if !h[child].less(e) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = e
+}
+
+// heapQueue is the original binary-heap scheduler queue, retained behind
+// NewHeapScheduler as the differential-testing oracle: O(log n) insert and
+// pop, trivially correct total order.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(e *event) { q.h.push(e) }
+func (q *heapQueue) len() int      { return len(q.h) }
+
+func (q *heapQueue) min() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+func (q *heapQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h.pop()
+}

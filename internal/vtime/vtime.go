@@ -8,10 +8,16 @@
 // The zero-configuration Clock starts at Epoch (2013-09-01 00:00 UTC), two
 // months before the paper's first Arbor sample, so darknet baselines exist
 // before the NTP phenomenon begins.
+//
+// Two queue implementations back the scheduler: the default calendar queue
+// (a bucketed timer wheel with an overflow heap, O(1) amortized insert and
+// pop — see calendar.go) and the reference binary heap behind
+// NewHeapScheduler. Both realize the identical execution contract — events
+// fire in (instant, schedule order) — and the schedtest package holds them
+// to it on fuzz- and property-generated workloads.
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -29,10 +35,21 @@ var Epoch = time.Date(2013, time.September, 1, 0, 0, 0, 0, time.UTC)
 // design (determinism beats parallelism for a reproduction harness).
 type Clock struct {
 	offset time.Duration // elapsed virtual time since Epoch
+
+	// Now() is called several times per delivered event; memoizing the last
+	// computed instant avoids re-running time.Time.Add until the clock moves.
+	cachedOff time.Duration
+	cached    time.Time
+	cachedOK  bool
 }
 
 // Now returns the current virtual instant.
-func (c *Clock) Now() time.Time { return Epoch.Add(c.offset) }
+func (c *Clock) Now() time.Time {
+	if !c.cachedOK || c.cachedOff != c.offset {
+		c.cachedOff, c.cached, c.cachedOK = c.offset, Epoch.Add(c.offset), true
+	}
+	return c.cached
+}
 
 // Elapsed returns the virtual time elapsed since Epoch.
 func (c *Clock) Elapsed() time.Duration { return c.offset }
@@ -55,43 +72,79 @@ func (c *Clock) AdvanceTo(t time.Time) {
 	c.offset += d
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are owned by the scheduler and
+// recycled through a free list: after an event fires, its struct (and, for
+// batches, its item slice) returns to the pool, so steady-state scheduling
+// allocates nothing.
 type event struct {
 	at   time.Time
-	atNs int64  // at as nanoseconds since Epoch: cheap heap comparisons
+	atNs int64  // at as nanoseconds since Epoch: cheap queue comparisons
 	seq  uint64 // tie-break so same-instant events run in schedule order
 	fn   func(now time.Time)
+
+	// Periodic (Every) state: a positive interval re-arms the same struct
+	// with a fresh seq after each tick until (and excluding) end.
+	interval time.Duration
+	end      time.Time
+
+	// Batch (AtBatch) state: sink non-nil marks a coalesced delivery event
+	// carrying items appended by the scheduler's open-batch table.
+	sink  BatchSink
+	items []any
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].atNs != q[j].atNs {
-		return q[i].atNs < q[j].atNs
+// less orders events by (instant, schedule order) — the scheduler's total
+// order, shared by every queue implementation.
+func (e *event) less(o *event) bool {
+	if e.atNs != o.atNs {
+		return e.atNs < o.atNs
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// queue is the priority-queue contract both implementations satisfy. min
+// may reorganize internal structure (the calendar queue drains buckets
+// lazily) but never changes the pop order.
+type queue interface {
+	push(e *event)
+	min() *event // earliest event, nil when empty
+	pop() *event // removes and returns the earliest event
+	len() int
+}
+
+// BatchSink receives a coalesced batch of same-instant items scheduled with
+// AtBatch. Items are passed in append order; the slice is owned by the
+// scheduler and must not be retained after RunBatch returns.
+type BatchSink interface {
+	RunBatch(now time.Time, items []any)
 }
 
 // Scheduler is a discrete-event executor bound to a Clock. Events scheduled
 // for the same instant run in the order they were scheduled. The zero value
-// is not usable; construct with NewScheduler.
+// is not usable; construct with NewScheduler (calendar queue) or
+// NewHeapScheduler (reference binary heap).
 type Scheduler struct {
 	clock *Clock
-	queue eventQueue
+	q     queue
 	seq   uint64
 	m     *Metrics
+
+	// peak tracks the high-water mark of Pending() — the queue-depth
+	// regression wall for the lazy-Every rewrite.
+	peak int
+
+	// open maps an instant (ns since Epoch) to its open batch event. A
+	// batch stays open — accepting appends in O(1) with no new scheduler
+	// event — until it fires or until any non-batch event is scheduled at
+	// the same instant. Closing on same-instant scheduling is what keeps
+	// coalescing provably order-preserving: only events at the identical
+	// instant can interleave with the batch, so a later append must not
+	// jump ahead of them.
+	open map[int64]*event
+
+	// free lists for event structs and batch item slices.
+	pool     []*event
+	itemPool [][]any
 }
 
 // Metrics is the scheduler's optional live instrumentation: queue depth,
@@ -125,18 +178,68 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 func (s *Scheduler) SetMetrics(m *Metrics) {
 	s.m = m
 	if m != nil {
-		m.QueueDepth.SetInt(int64(len(s.queue)))
+		m.QueueDepth.SetInt(int64(s.q.len()))
 		m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
 	}
 }
 
-// NewScheduler returns a Scheduler driving the given clock.
+// NewScheduler returns a Scheduler driving the given clock, backed by the
+// calendar queue.
 func NewScheduler(c *Clock) *Scheduler {
-	return &Scheduler{clock: c}
+	return &Scheduler{clock: c, q: newCalendarQueue(), open: make(map[int64]*event)}
+}
+
+// NewHeapScheduler returns a Scheduler backed by the reference binary-heap
+// queue — the original implementation, kept as the differential-testing
+// oracle. Behaviour is identical to NewScheduler; only the asymptotics
+// differ.
+func NewHeapScheduler(c *Clock) *Scheduler {
+	return &Scheduler{clock: c, q: &heapQueue{}, open: make(map[int64]*event)}
 }
 
 // Clock returns the scheduler's clock.
 func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// alloc takes an event struct from the free list (or allocates one).
+func (s *Scheduler) alloc() *event {
+	if n := len(s.pool); n > 0 {
+		e := s.pool[n-1]
+		s.pool = s.pool[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// release clears an event's references and returns it to the free list.
+func (s *Scheduler) release(e *event) {
+	if e.items != nil {
+		items := e.items
+		for i := range items {
+			items[i] = nil
+		}
+		s.itemPool = append(s.itemPool, items[:0])
+	}
+	*e = event{}
+	s.pool = append(s.pool, e)
+}
+
+// push assigns the next sequence number and enqueues. Any non-batch push
+// closes an open batch at the same instant (see the open field).
+func (s *Scheduler) push(e *event) {
+	if e.sink == nil && len(s.open) > 0 {
+		delete(s.open, e.atNs)
+	}
+	s.seq++
+	e.seq = s.seq
+	s.q.push(e)
+	if n := s.q.len(); n > s.peak {
+		s.peak = n
+	}
+	if s.m != nil {
+		s.m.EventsScheduled.Inc()
+		s.m.QueueDepth.SetInt(int64(s.q.len()))
+	}
+}
 
 // At schedules fn to run at instant t. Scheduling in the past panics:
 // a simulation that silently reorders causality produces wrong measurements.
@@ -144,12 +247,11 @@ func (s *Scheduler) At(t time.Time, fn func(now time.Time)) {
 	if t.Before(s.clock.Now()) {
 		panic(fmt.Sprintf("vtime: scheduling at %v, before now %v", t, s.clock.Now()))
 	}
-	s.seq++
-	heap.Push(&s.queue, &event{at: t, atNs: int64(t.Sub(Epoch)), seq: s.seq, fn: fn})
-	if s.m != nil {
-		s.m.EventsScheduled.Inc()
-		s.m.QueueDepth.SetInt(int64(len(s.queue)))
-	}
+	e := s.alloc()
+	e.at = t
+	e.atNs = int64(t.Sub(Epoch))
+	e.fn = fn
+	s.push(e)
 }
 
 // After schedules fn to run d after the current instant.
@@ -159,32 +261,119 @@ func (s *Scheduler) After(d time.Duration, fn func(now time.Time)) {
 
 // Every schedules fn to run every interval, starting at start, until (and
 // excluding) end. The callback may itself schedule further events.
+//
+// The schedule is lazy: one pending event re-arms itself after each tick,
+// so a months-long minute-scale schedule occupies a single queue slot
+// instead of pre-materializing every tick.
 func (s *Scheduler) Every(start time.Time, interval time.Duration, end time.Time, fn func(now time.Time)) {
 	if interval <= 0 {
 		panic("vtime: Every requires a positive interval")
 	}
-	for t := start; t.Before(end); t = t.Add(interval) {
-		s.At(t, fn)
+	if !start.Before(end) {
+		return
+	}
+	e := s.alloc()
+	e.at = start
+	e.atNs = int64(start.Sub(Epoch))
+	e.fn = fn
+	e.interval = interval
+	e.end = end
+	if start.Before(s.clock.Now()) {
+		panic(fmt.Sprintf("vtime: scheduling at %v, before now %v", start, s.clock.Now()))
+	}
+	s.push(e)
+}
+
+// AtBatch schedules item for delivery to sink at instant t. Consecutive
+// same-instant calls with the same sink coalesce into one scheduler event
+// whose RunBatch receives every item in append order; scheduling any other
+// event at the same instant closes the batch, so coalescing never reorders
+// execution relative to one-event-per-item scheduling.
+func (s *Scheduler) AtBatch(t time.Time, sink BatchSink, item any) {
+	if t.Before(s.clock.Now()) {
+		panic(fmt.Sprintf("vtime: scheduling at %v, before now %v", t, s.clock.Now()))
+	}
+	atNs := int64(t.Sub(Epoch))
+	if e, ok := s.open[atNs]; ok {
+		if e.sink == sink {
+			e.items = append(e.items, item)
+			return
+		}
+		// A different sink at the same instant: close the old batch so the
+		// new one's items stay behind it in schedule order.
+		delete(s.open, atNs)
+	}
+	e := s.alloc()
+	e.at = t
+	e.atNs = atNs
+	e.sink = sink
+	if n := len(s.itemPool); n > 0 {
+		e.items = s.itemPool[n-1]
+		s.itemPool = s.itemPool[:n-1]
+	}
+	e.items = append(e.items, item)
+	s.open[atNs] = e
+	s.push(e)
+}
+
+// Pending reports the number of events waiting to run. A coalesced batch
+// counts as one event regardless of its item count.
+func (s *Scheduler) Pending() int { return s.q.len() }
+
+// PeakPending reports the high-water mark of Pending() over the scheduler's
+// lifetime — the regression wall that keeps periodic schedules lazy.
+func (s *Scheduler) PeakPending() int { return s.peak }
+
+// runEvent advances the clock to e and executes it, recycling the struct.
+func (s *Scheduler) runEvent(e *event) {
+	s.clock.AdvanceTo(e.at)
+	if s.m != nil {
+		s.m.EventsFired.Inc()
+		s.m.QueueDepth.SetInt(int64(s.q.len()))
+		s.m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
+	}
+	switch {
+	case e.sink != nil:
+		// Close the batch before running: the sink may schedule new work at
+		// this same instant, which must open a fresh batch behind it.
+		if s.open[e.atNs] == e {
+			delete(s.open, e.atNs)
+		}
+		e.sink.RunBatch(e.at, e.items)
+		s.release(e)
+	case e.interval > 0:
+		// Re-arm before running fn so the next tick's sequence number
+		// precedes anything fn schedules at that exact instant — the order
+		// pre-materialized ticks had.
+		at, fn := e.at, e.fn
+		if next := e.at.Add(e.interval); next.Before(e.end) {
+			e.at = next
+			e.atNs = int64(next.Sub(Epoch))
+			s.push(e)
+		} else {
+			s.release(e)
+		}
+		fn(at)
+	default:
+		at, fn := e.at, e.fn
+		s.release(e)
+		fn(at)
 	}
 }
 
-// Pending reports the number of events waiting to run.
-func (s *Scheduler) Pending() int { return len(s.queue) }
-
 // RunUntil executes all events scheduled strictly before end, advancing the
 // clock to each event's instant, then advances the clock to end. It returns
-// the number of events executed.
+// the number of events executed; a coalesced batch counts once.
 func (s *Scheduler) RunUntil(end time.Time) int {
+	endNs := int64(end.Sub(Epoch))
 	ran := 0
-	for len(s.queue) > 0 && s.queue[0].at.Before(end) {
-		e := heap.Pop(&s.queue).(*event)
-		s.clock.AdvanceTo(e.at)
-		if s.m != nil {
-			s.m.EventsFired.Inc()
-			s.m.QueueDepth.SetInt(int64(len(s.queue)))
-			s.m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
+	for {
+		e := s.q.min()
+		if e == nil || e.atNs >= endNs {
+			break
 		}
-		e.fn(e.at)
+		s.q.pop()
+		s.runEvent(e)
 		ran++
 	}
 	if end.After(s.clock.Now()) {
@@ -197,18 +386,17 @@ func (s *Scheduler) RunUntil(end time.Time) int {
 }
 
 // Drain executes every pending event regardless of time, advancing the clock
-// along the way. It returns the number of events executed.
+// along the way. It returns the number of events executed. Periodic events
+// keep re-arming until their end instant, so Drain runs them to completion.
 func (s *Scheduler) Drain() int {
 	ran := 0
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		s.clock.AdvanceTo(e.at)
-		if s.m != nil {
-			s.m.EventsFired.Inc()
-			s.m.QueueDepth.SetInt(int64(len(s.queue)))
-			s.m.ClockSeconds.Set(s.clock.Elapsed().Seconds())
+	for {
+		e := s.q.min()
+		if e == nil {
+			break
 		}
-		e.fn(e.at)
+		s.q.pop()
+		s.runEvent(e)
 		ran++
 	}
 	return ran
